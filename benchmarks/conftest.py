@@ -1,0 +1,53 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Figures 4, 10a, 10b, and 10c are all views over the *same* simulation
+campaign (the full workload suite run under baseline/SRC/SAC), so the
+campaign runs once per session and is cached; each figure's bench then
+derives and prints its own table.  Figure 11 and 12 similarly share one
+FaultSim sweep.  The experiment code itself lives in
+:mod:`repro.figures`, shared with the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import FIT_SWEEP as FIT_SWEEP  # re-export for benches
+from repro.figures import SCHEMES as SCHEMES
+from repro.figures import run_fault_sweep, run_perf_campaign
+
+#: Simulation scale for the performance campaign.  Large enough for
+#: representative cache behavior, small enough for pure Python.
+MEMORY_MB = 32
+FOOTPRINT = 8 << 20
+NUM_REFS = 20_000
+
+
+@pytest.fixture(scope="session")
+def perf_campaign_cache():
+    return {}
+
+
+@pytest.fixture(scope="session")
+def fault_sweep_cache():
+    return {}
+
+
+def get_perf_campaign(cache):
+    """Fetch (or compute once per session) the shared campaign.  The
+    campaign itself is session setup; benches time their derivations."""
+    if "campaign" not in cache:
+        cache["campaign"] = run_perf_campaign(
+            memory_mb=MEMORY_MB,
+            footprint_bytes=FOOTPRINT,
+            num_refs=NUM_REFS,
+        )
+    return cache["campaign"]
+
+
+def get_fault_sweep(cache):
+    if "sweep" not in cache:
+        cache["sweep"] = run_fault_sweep(
+            fits=FIT_SWEEP, trials=40_000, trials_per_k=5_000, seed=2021
+        )
+    return cache["sweep"]

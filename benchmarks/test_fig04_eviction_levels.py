@@ -1,0 +1,42 @@
+"""Figure 4 — share of metadata-cache evictions by Merkle-tree level.
+
+Paper: under lazy update, evictions concentrate at the bottom of the
+tree; the two lowest levels contribute >10% each, the next two 1-10%,
+and everything above under 1% — the empirical basis for SAC's
+per-level clone depths (Table 2).
+"""
+
+from collections import Counter
+
+from conftest import get_perf_campaign
+
+
+def test_fig04_eviction_levels(benchmark, perf_campaign_cache):
+    campaign = get_perf_campaign(perf_campaign_cache)
+
+    def aggregate():
+        totals = Counter()
+        for results in campaign.values():
+            for level, count in results["baseline"].evictions_by_level.items():
+                if level >= 1:  # tree metadata only
+                    totals[level] += count
+        return totals
+
+    totals = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    grand_total = sum(totals.values())
+
+    print("\nFigure 4 — eviction share by tree level (suite aggregate)")
+    print(f"{'level':>6} {'evictions':>10} {'share':>8}")
+    shares = {}
+    for level in sorted(totals):
+        share = totals[level] / grand_total
+        shares[level] = share
+        print(f"{level:>6} {totals[level]:>10} {share*100:>7.2f}%")
+
+    # Shape: evictions are bottom-heavy and monotonically thin upward.
+    assert shares[1] > 0.5, "leaf (counter) level must dominate evictions"
+    levels = sorted(shares)
+    for below, above in zip(levels, levels[1:]):
+        assert shares[above] <= shares[below] * 1.05
+    if len(levels) >= 3:
+        assert shares[levels[-1]] < 0.05, "top level evictions must be rare"

@@ -1,0 +1,57 @@
+"""Figure 10a — execution-time overhead of SRC and SAC over baseline.
+
+Paper: SRC ~1% and SAC ~1.1% average execution-time overhead on top of
+the secure (Anubis-style) baseline, because cloning triggers only on
+metadata-cache evictions and upper-level nodes evict rarely.
+
+This bench runs the heavy simulation campaign (13 workloads x 3
+schemes) and caches it for the other Figure 10 views.
+"""
+
+from conftest import get_perf_campaign
+
+
+def geomean(values):
+    values = list(values)
+    product = 1.0
+    for v in values:
+        product *= 1.0 + v
+    return product ** (1 / len(values)) - 1.0
+
+
+def test_fig10a_performance(benchmark, perf_campaign_cache):
+    campaign = get_perf_campaign(perf_campaign_cache)
+
+    def derive():
+        rows = []
+        for workload, results in campaign.items():
+            base = results["baseline"]
+            rows.append(
+                (
+                    workload,
+                    results["src"].slowdown_vs(base),
+                    results["sac"].slowdown_vs(base),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(derive, rounds=1, iterations=1)
+
+    print("\nFigure 10a — execution time overhead vs secure baseline")
+    print(f"{'workload':>12} {'SRC':>8} {'SAC':>8}")
+    src_overheads, sac_overheads = [], []
+    for workload, src, sac in rows:
+        src_overheads.append(src)
+        sac_overheads.append(sac)
+        print(f"{workload:>12} {src*100:>7.2f}% {sac*100:>7.2f}%")
+    src_mean = geomean(src_overheads)
+    sac_mean = geomean(sac_overheads)
+    print(f"{'gmean':>12} {src_mean*100:>7.2f}% {sac_mean*100:>7.2f}%")
+    print("paper: SRC ~1.0%, SAC ~1.1%")
+
+    # Shape: overheads are small and SAC >= SRC on average.
+    assert 0 <= src_mean < 0.05
+    assert 0 <= sac_mean < 0.06
+    assert sac_mean >= src_mean - 0.002
+    # No workload pays a catastrophic penalty.
+    assert max(sac_overheads) < 0.25

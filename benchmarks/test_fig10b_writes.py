@@ -1,0 +1,56 @@
+"""Figure 10b — NVM write overhead of SRC and SAC over baseline.
+
+Paper: ~4.3% (SRC) and ~4.4% (SAC) extra NVM writes on average; clone
+writes happen only at metadata evictions, and SAC's extra clones target
+rarely-evicted upper levels so it costs barely more than SRC.
+"""
+
+from conftest import get_perf_campaign
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_fig10b_writes(benchmark, perf_campaign_cache):
+    campaign = get_perf_campaign(perf_campaign_cache)
+
+    def derive():
+        rows = []
+        for workload, results in campaign.items():
+            base = results["baseline"]
+            rows.append(
+                (
+                    workload,
+                    results["src"].write_overhead_vs(base),
+                    results["sac"].write_overhead_vs(base),
+                    results["src"].writes_by_kind.get("clone", 0),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(derive, rounds=1, iterations=1)
+
+    print("\nFigure 10b — NVM write overhead vs secure baseline")
+    print(f"{'workload':>12} {'SRC':>8} {'SAC':>8} {'clone writes SRC':>17}")
+    src_overheads, sac_overheads = [], []
+    for workload, src, sac, clones in rows:
+        src_overheads.append(src)
+        sac_overheads.append(sac)
+        print(f"{workload:>12} {src*100:>7.2f}% {sac*100:>7.2f}% {clones:>17}")
+    print(
+        f"{'mean':>12} {mean(src_overheads)*100:>7.2f}% "
+        f"{mean(sac_overheads)*100:>7.2f}%"
+    )
+    print("paper: SRC ~4.3%, SAC ~4.4%")
+
+    assert 0 <= mean(src_overheads) < 0.10
+    assert mean(sac_overheads) >= mean(src_overheads)
+    # The baseline never writes clones; Soteria's clone writes equal
+    # its extra writes.
+    for results in campaign.values():
+        assert results["baseline"].writes_by_kind.get("clone", 0) == 0
+        extra = results["src"].nvm_writes - results["baseline"].nvm_writes
+        clones = results["src"].writes_by_kind.get("clone", 0)
+        assert extra == clones

@@ -1,0 +1,63 @@
+"""Figure 11 — Unverifiable Data Ratio vs failure rate.
+
+Paper (1TB-scale tree, Chipkill, 5-year lifetime): the secure
+baseline's UDR climbs to ~3e-5 at FIT 80 while SRC stays around 1e-8
+and SAC around 1e-9; geometric-mean resilience gains are ~2.5e3x (SRC)
+and ~3.7e4x (SAC).  Shape to reproduce: baseline >> SRC >= SAC with
+multiple-orders-of-magnitude gains that grow as FIT falls.
+"""
+
+from conftest import FIT_SWEEP, get_fault_sweep
+
+from repro.analysis import compare_schemes, geometric_mean
+
+TB = 1 << 40
+
+
+def test_fig11_udr(benchmark, fault_sweep_cache):
+    sweep = get_fault_sweep(fault_sweep_cache)
+    benchmark.pedantic(
+        lambda: {
+            fit: compare_schemes(
+                sweep[fit].p_block_due, TB,
+                p_multi_due=sweep[fit].p_multi_due_cross,
+            )
+            for fit in FIT_SWEEP
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFigure 11 — UDR vs FIT (1TB, Chipkill, 5 years)")
+    print(f"{'FIT':>4} {'baseline':>12} {'SRC':>12} {'SAC':>12} "
+          f"{'gain SRC':>10} {'gain SAC':>10}")
+    gains_src, gains_sac = [], []
+    rows = {}
+    for fit in FIT_SWEEP:
+        result = sweep[fit]
+        udr = compare_schemes(
+            result.p_block_due, TB, p_multi_due=result.p_multi_due_cross
+        )
+        rows[fit] = udr
+        base, src, sac = (udr[s].udr for s in ("baseline", "src", "sac"))
+        gain_src = base / src if src else float("inf")
+        gain_sac = base / sac if sac else float("inf")
+        gains_src.append(gain_src)
+        gains_sac.append(gain_sac)
+        print(f"{fit:>4} {base:>12.3e} {src:>12.3e} {sac:>12.3e} "
+              f"{gain_src:>10.2e} {gain_sac:>10.2e}")
+    finite_src = [g for g in gains_src if g != float("inf")]
+    finite_sac = [g for g in gains_sac if g != float("inf")]
+    print(f"gmean resilience gain: SRC {geometric_mean(finite_src):.2e} "
+          f"(paper 2.5e3), SAC {geometric_mean(finite_sac):.2e} (paper 3.7e4)")
+
+    # Shape assertions.
+    base_curve = [rows[fit]["baseline"].udr for fit in FIT_SWEEP]
+    assert base_curve == sorted(base_curve), "baseline UDR grows with FIT"
+    assert 1e-6 < rows[80]["baseline"].udr < 1e-3, "FIT-80 baseline near 3e-5"
+    for fit in FIT_SWEEP:
+        base, src, sac = (rows[fit][s].udr for s in ("baseline", "src", "sac"))
+        assert base > src >= sac
+    # Orders-of-magnitude gains, as in the paper.
+    assert geometric_mean(finite_src) > 1e3
+    assert geometric_mean(finite_sac) > 1e3

@@ -1,0 +1,50 @@
+"""Figure 12 — total data loss decomposition for an 8TB NVM.
+
+Paper: L_total = L_error + L_unverifiable.  The non-secure memory loses
+only L_error; the secure baseline loses ~5x more overall because
+metadata errors amplify; SRC and SAC push L_total back to ~L_error
+(their residual unverifiable loss is minute next to L_error).
+"""
+
+from conftest import get_fault_sweep
+
+from repro.analysis import figure12_table
+
+FIT_POINT = 40  # a mid-sweep operating point, as in the paper's figure
+
+
+def test_fig12_loss_8tb(benchmark, fault_sweep_cache):
+    sweep = get_fault_sweep(fault_sweep_cache)
+    result = sweep[FIT_POINT]
+    table = benchmark.pedantic(
+        lambda: figure12_table(result.p_block_due, 8 << 40),
+        rounds=1,
+        iterations=1,
+    )
+
+    print(f"\nFigure 12 — expected data loss, 8TB NVM, FIT {FIT_POINT}")
+    print(f"{'scheme':>11} {'L_error':>12} {'L_unverif':>12} "
+          f"{'L_total':>12} {'vs non-secure':>14}")
+    for scheme, d in table.items():
+        print(
+            f"{scheme:>11} {d.l_error_bytes/2**20:>10.2f}MB "
+            f"{d.l_unverifiable_bytes/2**20:>10.2f}MB "
+            f"{d.l_total_bytes/2**20:>10.2f}MB {d.inflation:>13.2f}x"
+        )
+    print("paper: baseline ~5.06x; SRC/SAC ~= L_error")
+
+    non_secure = table["non-secure"]
+    baseline = table["baseline"]
+    # L_error is scheme-independent.
+    assert all(
+        d.l_error_bytes == non_secure.l_error_bytes for d in table.values()
+    )
+    # Baseline amplifies total loss several-fold (paper: 5.06x).
+    assert baseline.inflation > 3
+    # Soteria keeps the total within a hair of error-only loss.
+    for scheme in ("src", "sac"):
+        assert table[scheme].inflation < 1.01
+    # SAC's residual is no worse than SRC's.
+    assert (
+        table["sac"].l_unverifiable_bytes <= table["src"].l_unverifiable_bytes
+    )

@@ -1,0 +1,70 @@
+"""Fleet-scale projection — the paper's large-scale-systems argument.
+
+Section 5.3 closes: SAC's extra resilience "can be used in large-scale
+systems where the accumulated memory size is extremely large."  This
+bench projects the UDR analysis onto the Section 4 calibration cluster
+(20k nodes x 1TB) and reports, per scheme, the probability that *any*
+node suffers unverifiable loss over the five-year lifetime.
+"""
+
+from conftest import get_fault_sweep
+
+from repro.analysis import compare_fleet, max_protected_nodes
+
+TB = 1 << 40
+NODES = 20_000
+FIT_POINTS = (10, 40, 80)
+
+
+def test_fleet_scale(benchmark, fault_sweep_cache):
+    sweep = get_fault_sweep(fault_sweep_cache)
+
+    def project():
+        rows = {}
+        for fit in FIT_POINTS:
+            result = sweep[fit]
+            rows[fit] = compare_fleet(
+                result.p_block_due,
+                nodes=NODES,
+                data_bytes_per_node=TB,
+                p_multi_due=result.p_multi_due_cross,
+            )
+        return rows
+
+    rows = benchmark.pedantic(project, rounds=1, iterations=1)
+
+    print(f"\nFleet projection — {NODES:,} nodes x 1TB, 5-year lifetime")
+    print(f"{'FIT':>4} {'scheme':>9} {'P(any node loses data)':>24} "
+          f"{'E[unverifiable]':>17}")
+    for fit, fleet in rows.items():
+        for scheme, proj in fleet.items():
+            print(f"{fit:>4} {scheme:>9} {proj.p_any_loss:>24.3e} "
+                  f"{proj.expected_unverifiable_bytes / 2**20:>14.2f}MB")
+
+    for fit, fleet in rows.items():
+        assert (
+            fleet["baseline"].p_any_loss
+            >= fleet["src"].p_any_loss
+            >= fleet["sac"].p_any_loss
+        )
+    # At low FIT the baseline fleet is still essentially certain to
+    # lose data while Soteria fleets are ~90% likely to stay clean; at
+    # high FIT even Soteria fleets expect *some* loss, but four orders
+    # of magnitude less of it.
+    assert rows[10]["baseline"].p_any_loss > 0.99
+    assert rows[10]["sac"].p_any_loss < 0.2
+    assert (
+        rows[80]["baseline"].expected_unverifiable_bytes
+        > 1e4 * rows[80]["sac"].expected_unverifiable_bytes
+    )
+
+    result = sweep[40]
+    base_cap = max_protected_nodes(
+        result.p_block_due, "baseline", p_multi_due=result.p_multi_due_cross
+    )
+    src_cap = max_protected_nodes(
+        result.p_block_due, "src", p_multi_due=result.p_multi_due_cross
+    )
+    print(f"\nnodes protectable within a 1% loss budget (FIT 40): "
+          f"baseline {base_cap:.2f}, SRC {src_cap:,.0f}")
+    assert src_cap > base_cap * 100

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Reliability study: from device faults to Unverifiable Data Ratio.
+
+Reproduces the paper's reliability pipeline end to end at demo scale:
+
+1. Monte-Carlo fault simulation of a DIMM over a 5-year lifetime
+   (Hopper fault-mode mix, Chipkill-correct ECC);
+2. UDR of the secure baseline vs Soteria SRC/SAC over a 1TB layout
+   (Figure 11's comparison at a few FIT points);
+3. the Figure 12 loss decomposition for an 8TB memory.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+from repro.analysis import compare_schemes, figure12_table
+from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
+
+TB = 1 << 40
+
+
+def main():
+    print("=== device-level fault simulation (FaultSim equivalent) ===")
+    fits = (10, 40, 80)
+    results = {}
+    for fit in fits:
+        sim = FaultSimulator(
+            FaultSimConfig(fit_per_device=fit, trials=20_000, seed=11)
+        )
+        results[fit] = sim.run(trials_per_k=3_000)
+        r = results[fit]
+        print(f"FIT {fit:3d}: MTBF {mtbf_hours(fit):6.1f}h | "
+              f"P(block uncorrectable by EOL) = {r.p_block_due:.3e} | "
+              f"E[DUE blocks/DIMM] = {r.expected_due_blocks:.2f}")
+
+    print("\n=== UDR: baseline vs Soteria (1TB ToC layout) ===")
+    print(f"{'FIT':>4} {'baseline':>12} {'SRC':>12} {'SAC':>12}")
+    for fit in fits:
+        r = results[fit]
+        udr = compare_schemes(r.p_block_due, TB,
+                              p_multi_due=r.p_multi_due_cross)
+        print(f"{fit:>4} {udr['baseline'].udr:>12.3e} "
+              f"{udr['src'].udr:>12.3e} {udr['sac'].udr:>12.3e}")
+    final = compare_schemes(results[80].p_block_due, TB,
+                            p_multi_due=results[80].p_multi_due_cross)
+    print(f"\nat FIT 80, SRC is {final['src'].resilience_vs(final['baseline']):.1e}x "
+          f"and SAC {final['sac'].resilience_vs(final['baseline']):.1e}x more "
+          "resilient than the secure baseline (paper: 2.5e3x / 3.7e4x gmean)")
+
+    print("\n=== Figure 12: expected loss decomposition, 8TB NVM ===")
+    table = figure12_table(results[40].p_block_due, 8 * TB)
+    print(f"{'scheme':>11} {'L_error':>10} {'L_unverif':>11} {'inflation':>10}")
+    for scheme, d in table.items():
+        print(f"{scheme:>11} {d.l_error_bytes/2**20:>8.1f}MB "
+              f"{d.l_unverifiable_bytes/2**20:>9.1f}MB "
+              f"{d.inflation:>9.2f}x")
+    print("\nthe secure baseline amplifies total loss several-fold; "
+          "SRC/SAC return it to device-error levels.")
+
+
+if __name__ == "__main__":
+    main()

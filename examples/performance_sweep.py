@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Performance sweep: Figure 10 at demo scale.
+
+Runs a slice of the evaluation suite (persistent kernels, key-value,
+microbenchmarks, SPEC-like) through the trace-driven timing simulator
+under baseline / SRC / SAC and prints the three Figure 10 views:
+execution-time overhead, write overhead, and eviction rates.
+
+Run:  python examples/performance_sweep.py        (~30 s)
+"""
+
+from repro.sim import SystemConfig, run_schemes
+from repro.workloads import ctree, hashmap, mcf, pmemkv, ubench
+
+
+def main():
+    config = SystemConfig.scaled(memory_mb=32)
+    factories = [
+        lambda: ctree(footprint_bytes=8 << 20, num_refs=12_000),
+        lambda: hashmap(footprint_bytes=8 << 20, num_refs=12_000),
+        lambda: pmemkv(0.9, footprint_bytes=8 << 20, num_refs=12_000),
+        lambda: ubench(128, footprint_bytes=8 << 20, num_refs=12_000),
+        lambda: mcf(footprint_bytes=8 << 20, num_refs=12_000),
+    ]
+
+    print("=== Figure 10 (demo scale): Soteria overheads vs baseline ===")
+    header = (f"{'workload':>12} {'SRC time':>9} {'SAC time':>9} "
+              f"{'SRC writes':>11} {'SAC writes':>11} {'evict/req':>10}")
+    print(header)
+    for factory in factories:
+        out = run_schemes(factory, config=config)
+        base = out["baseline"]
+        print(
+            f"{base.workload:>12} "
+            f"{out['src'].slowdown_vs(base)*100:>8.2f}% "
+            f"{out['sac'].slowdown_vs(base)*100:>8.2f}% "
+            f"{out['src'].write_overhead_vs(base)*100:>10.2f}% "
+            f"{out['sac'].write_overhead_vs(base)*100:>10.2f}% "
+            f"{base.evictions_per_request*100:>9.2f}%"
+        )
+    print("\npaper (full gem5 scale): ~1% time overhead, ~4.3-4.4% write "
+          "overhead, ~1.3% evictions/request.")
+    print("cloning costs track the eviction rate: read-heavy or cache-"
+          "resident workloads pay ~0, eviction-heavy ones pay single digits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure NVM controller with Soteria cloning.
+
+Builds a Soteria (SRC) memory controller over a small NVM, writes and
+reads encrypted data, shows what actually sits in the NVM (ciphertext,
+counters, tree nodes, clones, shadow entries), and prints the traffic
+breakdown the performance figures are built from.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import make_controller
+
+KB = 1024
+
+
+def main():
+    # 1MB of protected data; small metadata cache so evictions (and
+    # therefore clones) actually happen in this short demo.
+    ctrl = make_controller(
+        "src",
+        data_bytes=1024 * KB,
+        metadata_cache_bytes=4 * KB,
+        rng=np.random.default_rng(7),
+    )
+
+    print("=== Soteria quickstart ===")
+    print(f"protected data      : {ctrl.data_bytes // KB} kB")
+    print(f"tree levels         : {ctrl.amap.num_levels} "
+          f"(nodes per level: {ctrl.amap.level_sizes})")
+    print(f"clone depths        : {ctrl.amap.clone_depths}")
+    print(f"metadata cache slots: {ctrl.metadata_cache.num_slots}")
+
+    # --- write and read back ---
+    message = b"NVM data, integrity-protected".ljust(64, b"\x00")
+    ctrl.write(0, message)
+    assert ctrl.read(0).data == message
+    print("\nwrite+read roundtrip OK")
+
+    # The NVM holds ciphertext, not the message.
+    ctrl.flush()
+    at_rest = ctrl.nvm.read_block(ctrl.amap.data_addr(0))
+    print(f"plaintext : {message[:24]!r}...")
+    print(f"at rest   : {at_rest[:24].hex()}...")
+    assert at_rest != message
+
+    # --- drive some traffic so metadata evicts and clones are written ---
+    rng = np.random.default_rng(1)
+    for _ in range(4000):
+        block = int(rng.integers(0, ctrl.num_data_blocks))
+        ctrl.write(block, bytes(int(x) for x in rng.integers(0, 256, 64)))
+    ctrl.flush()
+
+    stats = ctrl.stats
+    print("\n=== NVM write traffic breakdown ===")
+    for kind, count in sorted(stats.nvm_writes_by_kind.items()):
+        print(f"  {kind:12s} {count:8d}")
+    print(f"  {'total':12s} {stats.total_nvm_writes:8d}")
+
+    print("\n=== metadata cache evictions by tree level (Figure 4) ===")
+    for level, fraction in ctrl.stats.eviction_fractions().items():
+        label = "counters (leaf)" if level == 1 else f"tree level {level}"
+        print(f"  {label:16s} {fraction * 100:6.2f}%")
+
+    # --- the Soteria moment: survive a corrupted counter block ---
+    victim = next(
+        i for i in range(ctrl.amap.level_sizes[0])
+        if ctrl.nvm.is_touched(ctrl.amap.node_addr(1, i))
+    )
+    ctrl.metadata_cache.flush_all()  # force re-fetch from NVM
+    ctrl.nvm.flip_bits(ctrl.amap.node_addr(1, victim), [3, 77])
+    data = ctrl.read(victim * 64).data  # repaired from the clone
+    print(f"\ncorrupted counter block {victim}: repaired from clone, "
+          f"data verified ({ctrl.stats.clone_repairs} repair)")
+    assert ctrl.stats.clone_repairs == 1
+    print("\nquickstart complete.")
+
+
+if __name__ == "__main__":
+    main()

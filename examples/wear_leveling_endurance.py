@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Endurance study: the secure controller over Start-Gap wear leveling.
+
+Secure metadata is write-hot: counters and low tree levels absorb far
+more writes per byte than data does, and clone writes add to it.  This
+example runs the full secure controller (SRC) on a raw NVM and on a
+Start-Gap wear-leveled NVM and compares per-cell wear.
+
+Run:  python examples/wear_leveling_endurance.py
+"""
+
+import numpy as np
+
+from repro.core import make_controller
+from repro.memory import NvmDevice, WearLevelingNvm
+
+KB = 1024
+
+
+def run(wear_leveled: bool, ops: int = 20_000):
+    # Size the backing close to the mapped space and use a small gap
+    # period so the demo sees several full gap rotations (a line moves
+    # once per psi x slots writes).
+    backing = NvmDevice(capacity_bytes=512 * KB)
+    device = WearLevelingNvm(backing, psi=2) if wear_leveled else backing
+    ctrl = make_controller(
+        "src",
+        256 * KB,
+        nvm=device,
+        metadata_cache_bytes=4 * KB,
+        functional_crypto=False,
+        rng=np.random.default_rng(3),
+    )
+    rng = np.random.default_rng(4)
+    hot = int(rng.integers(0, ctrl.num_data_blocks))
+    for i in range(ops):
+        if i % 3 == 0:
+            block = hot  # a write-hot record (log head, counter, ...)
+        else:
+            block = int(rng.integers(0, ctrl.num_data_blocks))
+        ctrl.write(block, bytes(64))
+    ctrl.flush()
+    return backing.wear_stats(), getattr(device, "remap", None)
+
+
+def main():
+    print("=== secure controller wear, raw vs Start-Gap NVM ===")
+    raw_stats, _ = run(wear_leveled=False)
+    wl_stats, remap = run(wear_leveled=True)
+    print(f"{'':14} {'max writes/cell':>16} {'mean':>8} {'uniformity':>11}")
+    print(f"{'raw NVM':14} {raw_stats['max']:>16} {raw_stats['mean']:>8.1f} "
+          f"{raw_stats['uniformity']:>11.4f}")
+    print(f"{'start-gap':14} {wl_stats['max']:>16} {wl_stats['mean']:>8.1f} "
+          f"{wl_stats['uniformity']:>11.4f}")
+    print(f"\ngap relocations performed: {remap.gap_moves}")
+    improvement = raw_stats["max"] / wl_stats["max"]
+    print(f"peak-wear reduction: {improvement:.1f}x — cell lifetime scales "
+          "accordingly (Start-Gap, Qureshi et al. MICRO'09)")
+
+
+if __name__ == "__main__":
+    main()

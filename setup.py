@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where the `wheel` package needed by PEP 660 builds is unavailable)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Soteria reproduction: resilient integrity-protected & encrypted NVM.
+
+A full-system reproduction of *"Soteria: Towards Resilient
+Integrity-Protected and Encrypted Non-Volatile Memories"* (MICRO 2021):
+a functional secure NVM memory controller (counter-mode encryption, ToC
+integrity tree, Anubis crash tracking, Osiris counter recovery) with
+Soteria metadata cloning on top, plus the fault-injection and timing
+machinery that regenerates the paper's figures.
+
+Quick start::
+
+    from repro import make_controller
+
+    ctrl = make_controller("src", data_bytes=1 << 20)
+    ctrl.write(0, b"secret".ljust(64, b"\\0"))
+    assert ctrl.read(0).data.rstrip(b"\\0") == b"secret"
+
+See ``examples/`` for crash recovery, fault injection, and full
+figure-regeneration walkthroughs.
+"""
+
+from repro.controller import (
+    DataPoisonedError,
+    IntegrityError,
+    RecoveryError,
+    SecureMemoryController,
+    SecureMemoryError,
+)
+from repro.core import (
+    AggressiveCloning,
+    RelaxedCloning,
+    SoteriaShadowCodec,
+    UniformCloning,
+    make_controller,
+)
+from repro.recovery import RecoveryManager, RecoveryReport
+from repro.sim import SecureSystem, SystemConfig, run_schemes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggressiveCloning",
+    "DataPoisonedError",
+    "IntegrityError",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RelaxedCloning",
+    "SecureMemoryController",
+    "SecureMemoryError",
+    "SecureSystem",
+    "SoteriaShadowCodec",
+    "SystemConfig",
+    "UniformCloning",
+    "make_controller",
+    "run_schemes",
+    "__version__",
+]

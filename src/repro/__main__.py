@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro``."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Reliability analysis: expected loss, UDR, loss decomposition."""
+
+from repro.analysis.expected_loss import (
+    LevelInfo,
+    amplification_factor,
+    expected_loss,
+    expected_loss_per_error,
+    figure3_series,
+    level_inventory,
+    metadata_blocks,
+)
+from repro.analysis.loss_decomposition import (
+    LossDecomposition,
+    decompose,
+    figure12_table,
+)
+from repro.analysis.system_scale import (
+    FleetProjection,
+    compare_fleet,
+    max_protected_nodes,
+    node_loss_probability,
+    project_fleet,
+)
+from repro.analysis.udr_mc import (
+    MonteCarloUdr,
+    build_dimm_map,
+    monte_carlo_udr,
+)
+from repro.analysis.udr import (
+    UdrResult,
+    compare_schemes,
+    compute_udr,
+    geometric_mean,
+    scheme_depths,
+)
+
+__all__ = [
+    "FleetProjection",
+    "LevelInfo",
+    "LossDecomposition",
+    "MonteCarloUdr",
+    "UdrResult",
+    "build_dimm_map",
+    "monte_carlo_udr",
+    "compare_fleet",
+    "max_protected_nodes",
+    "node_loss_probability",
+    "project_fleet",
+    "amplification_factor",
+    "compare_schemes",
+    "compute_udr",
+    "decompose",
+    "expected_loss",
+    "expected_loss_per_error",
+    "figure3_series",
+    "figure12_table",
+    "geometric_mean",
+    "level_inventory",
+    "metadata_blocks",
+    "scheme_depths",
+]

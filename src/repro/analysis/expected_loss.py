@@ -1,0 +1,109 @@
+"""Analytic expected-loss model (Figure 3 and the Section 2.7 footnote).
+
+The paper's footnote:  E[X] = sum_i X_i * P(X_i), where X_i is the data
+lost when an error hits tree level i and P(X_i) the probability of an
+error landing there.  With a uniformly placed block error:
+
+* a *data* error loses one 64-byte block;
+* an error in a level-i metadata node loses everything the node covers
+  (64 * 8^(i-1) blocks for our 64-ary-leaf/8-ary ToC).
+
+Because level i has exactly 8x fewer nodes but 8x larger coverage than
+level i+1's children, every level contributes the *same* expected loss
+— which is why the secure system's expected loss is roughly
+(1 + number-of-levels) times the non-secure system's, ~12x for 4TB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import CACHELINE_BYTES, SPLIT_COUNTER_ARITY, TOC_ARITY
+from repro.memory import tree_level_sizes
+
+
+@dataclass(frozen=True)
+class LevelInfo:
+    """One tree level: node count and per-node data coverage."""
+
+    level: int
+    nodes: int
+    coverage_blocks: int
+
+    @property
+    def coverage_bytes(self) -> int:
+        return self.coverage_blocks * CACHELINE_BYTES
+
+
+def level_inventory(data_bytes: int) -> list:
+    """Per-level inventory of the ToC protecting ``data_bytes``."""
+    if data_bytes <= 0 or data_bytes % CACHELINE_BYTES != 0:
+        raise ValueError("data_bytes must be a positive multiple of 64")
+    num_blocks = data_bytes // CACHELINE_BYTES
+    sizes = tree_level_sizes(num_blocks)
+    inventory = []
+    for level, nodes in enumerate(sizes, start=1):
+        coverage = SPLIT_COUNTER_ARITY * TOC_ARITY ** (level - 1)
+        inventory.append(
+            LevelInfo(
+                level=level,
+                nodes=nodes,
+                coverage_blocks=min(coverage, num_blocks),
+            )
+        )
+    return inventory
+
+
+def metadata_blocks(data_bytes: int) -> int:
+    """Total counter + tree blocks for the given memory size."""
+    return sum(info.nodes for info in level_inventory(data_bytes))
+
+
+def expected_loss_per_error(data_bytes: int, secure: bool) -> float:
+    """Expected bytes rendered lost/unverifiable by one uniformly
+    placed uncorrectable block error.
+
+    Non-secure memories lose exactly the hit block.  Secure memories
+    additionally risk the error landing in metadata, which amplifies to
+    the node's full coverage.
+    """
+    data_blocks = data_bytes // CACHELINE_BYTES
+    if not secure:
+        return float(CACHELINE_BYTES)
+    inventory = level_inventory(data_bytes)
+    total_blocks = data_blocks + sum(info.nodes for info in inventory)
+    expected = data_blocks / total_blocks * CACHELINE_BYTES
+    for info in inventory:
+        expected += info.nodes / total_blocks * info.coverage_bytes
+    return expected
+
+
+def expected_loss(data_bytes: int, num_errors: int, secure: bool) -> float:
+    """Expected lost/unverifiable bytes after ``num_errors`` uniformly
+    placed, independent uncorrectable errors (Figure 3's y-axis)."""
+    if num_errors < 0:
+        raise ValueError("num_errors must be non-negative")
+    return num_errors * expected_loss_per_error(data_bytes, secure)
+
+
+def amplification_factor(data_bytes: int) -> float:
+    """Secure / non-secure expected-loss ratio (~12x at 4TB)."""
+    return expected_loss_per_error(data_bytes, secure=True) / (
+        expected_loss_per_error(data_bytes, secure=False)
+    )
+
+
+def figure3_series(data_bytes: int = 4 << 40, error_counts=None) -> dict:
+    """The two Figure 3 curves: expected loss vs error count."""
+    if error_counts is None:
+        error_counts = [1, 2, 4, 8, 16, 32, 64, 128]
+    return {
+        "error_counts": list(error_counts),
+        "secure_bytes": [
+            expected_loss(data_bytes, k, secure=True) for k in error_counts
+        ],
+        "non_secure_bytes": [
+            expected_loss(data_bytes, k, secure=False) for k in error_counts
+        ],
+        "amplification": amplification_factor(data_bytes),
+    }

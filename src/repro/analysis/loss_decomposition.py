@@ -1,0 +1,72 @@
+"""Total data-loss decomposition for a large NVM (Figure 12).
+
+    L_total = L_error + L_unverifiable
+
+``L_error`` — blocks the memory itself lost to uncorrectable errors —
+is common to every scheme (it is a property of the device + ECC, not of
+the security architecture).  ``L_unverifiable`` is the security-induced
+amplification: zero for a non-secure memory, large for the secure
+baseline, and driven toward zero by Soteria's clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.udr import compute_udr, scheme_depths
+
+
+@dataclass(frozen=True)
+class LossDecomposition:
+    """Expected loss for one scheme over one memory."""
+
+    scheme: str
+    data_bytes: int
+    l_error_bytes: float
+    l_unverifiable_bytes: float
+
+    @property
+    def l_total_bytes(self) -> float:
+        return self.l_error_bytes + self.l_unverifiable_bytes
+
+    @property
+    def inflation(self) -> float:
+        """L_total relative to the non-secure memory (L_error only)."""
+        if self.l_error_bytes == 0:
+            return float("inf") if self.l_unverifiable_bytes else 1.0
+        return self.l_total_bytes / self.l_error_bytes
+
+
+def decompose(p_block_due: float, data_bytes: int, scheme: str) -> LossDecomposition:
+    """Expected loss decomposition at one failure rate.
+
+    ``scheme`` is ``non-secure``, ``baseline``, ``src`` or ``sac``.
+    """
+    l_error = p_block_due * data_bytes
+    if scheme.lower() in ("non-secure", "nonsecure"):
+        return LossDecomposition(
+            scheme="non-secure",
+            data_bytes=data_bytes,
+            l_error_bytes=l_error,
+            l_unverifiable_bytes=0.0,
+        )
+    result = compute_udr(
+        p_block_due,
+        data_bytes,
+        clone_depths=scheme_depths(scheme, data_bytes),
+        scheme=scheme,
+    )
+    return LossDecomposition(
+        scheme=result.scheme,
+        data_bytes=data_bytes,
+        l_error_bytes=l_error,
+        l_unverifiable_bytes=result.unverifiable_bytes,
+    )
+
+
+def figure12_table(p_block_due: float, data_bytes: int = 8 << 40) -> dict:
+    """All four Figure 12 bars for an 8TB memory."""
+    return {
+        scheme: decompose(p_block_due, data_bytes, scheme)
+        for scheme in ("non-secure", "baseline", "src", "sac")
+    }

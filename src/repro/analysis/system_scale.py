@@ -1,0 +1,138 @@
+"""Fleet-scale reliability projections.
+
+The paper closes its resilience argument at scale: "SAC is on average
+20X more resilient to errors compared to SRC, which can be used in
+large-scale systems where the accumulated memory size is extremely
+large."  This module projects the per-memory UDR analysis onto a fleet
+(the Section 4 calibration cluster: 20k nodes x 4 DIMMs) and answers
+the operator questions:
+
+* how much data does the fleet expect to lose to unverifiable metadata
+  over a deployment lifetime, per scheme?
+* what is the probability that *any* node suffers unverifiable loss?
+* how many nodes' worth of memory can each scheme protect before the
+  expected fleet loss crosses a budget?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.udr import compute_udr, scheme_depths
+from repro.analysis.expected_loss import level_inventory
+
+
+@dataclass(frozen=True)
+class FleetProjection:
+    """Expected fleet-wide outcome for one scheme."""
+
+    scheme: str
+    nodes: int
+    data_bytes_per_node: int
+    expected_lost_nodes: float      # E[# nodes with >= 1 lost metadata node]
+    expected_unverifiable_bytes: float
+    p_any_loss: float               # P(any node loses unverifiable data)
+
+    @property
+    def fleet_bytes(self) -> int:
+        return self.nodes * self.data_bytes_per_node
+
+
+def node_loss_probability(
+    p_block_due: float,
+    data_bytes: int,
+    scheme: str,
+    p_multi_due: dict = None,
+) -> float:
+    """P(at least one metadata node of a single memory is lost).
+
+    Sums expected lost nodes per level and converts via the Poisson
+    approximation 1 - exp(-E) — accurate in the rare-loss regime the
+    schemes operate in.
+    """
+    depths = scheme_depths(scheme, data_bytes)
+    expected_lost = 0.0
+    for info in level_inventory(data_bytes):
+        depth = depths[info.level]
+        if p_multi_due is not None and depth in p_multi_due:
+            p_node = p_multi_due[depth]
+        else:
+            p_node = p_block_due**depth
+        expected_lost += info.nodes * p_node
+    return 1.0 - math.exp(-expected_lost)
+
+
+def project_fleet(
+    p_block_due: float,
+    scheme: str,
+    nodes: int = 20_000,
+    data_bytes_per_node: int = 1 << 40,
+    p_multi_due: dict = None,
+) -> FleetProjection:
+    """Fleet-wide expectation for one scheme at one failure rate."""
+    if nodes <= 0:
+        raise ValueError("nodes must be positive")
+    udr = compute_udr(
+        p_block_due,
+        data_bytes_per_node,
+        clone_depths=scheme_depths(scheme, data_bytes_per_node),
+        scheme=scheme,
+        p_multi_due=p_multi_due,
+    )
+    p_node_loss = node_loss_probability(
+        p_block_due, data_bytes_per_node, scheme, p_multi_due
+    )
+    expected_lost_nodes = nodes * p_node_loss
+    return FleetProjection(
+        scheme=scheme,
+        nodes=nodes,
+        data_bytes_per_node=data_bytes_per_node,
+        expected_lost_nodes=expected_lost_nodes,
+        expected_unverifiable_bytes=nodes * udr.unverifiable_bytes,
+        p_any_loss=1.0 - math.exp(-expected_lost_nodes),
+    )
+
+
+def compare_fleet(
+    p_block_due: float,
+    nodes: int = 20_000,
+    data_bytes_per_node: int = 1 << 40,
+    p_multi_due: dict = None,
+) -> dict:
+    """All three schemes projected onto the same fleet."""
+    return {
+        scheme: project_fleet(
+            p_block_due,
+            scheme,
+            nodes=nodes,
+            data_bytes_per_node=data_bytes_per_node,
+            p_multi_due=p_multi_due,
+        )
+        for scheme in ("baseline", "src", "sac")
+    }
+
+
+def max_protected_nodes(
+    p_block_due: float,
+    scheme: str,
+    loss_budget: float = 0.01,
+    data_bytes_per_node: int = 1 << 40,
+    p_multi_due: dict = None,
+) -> float:
+    """Fleet size at which P(any unverifiable loss) hits ``loss_budget``.
+
+    The paper's scaling argument, inverted: with per-node loss
+    probability p, P(any) = 1 - (1-p)^N <= budget gives
+    N = ln(1 - budget) / ln(1 - p).
+    """
+    if not 0 < loss_budget < 1:
+        raise ValueError("loss_budget must be in (0, 1)")
+    p_node = node_loss_probability(
+        p_block_due, data_bytes_per_node, scheme, p_multi_due
+    )
+    if p_node <= 0:
+        return float("inf")
+    if p_node >= 1:
+        return 0.0  # even a single node busts the budget
+    return math.log(1.0 - loss_budget) / math.log(1.0 - p_node)

@@ -1,0 +1,128 @@
+"""Unverifiable Data Ratio (UDR) — the paper's resilience metric.
+
+    UDR = L_unverifiable / total memory size
+
+``L_unverifiable`` is data that is error-free but can no longer be
+verified because the security metadata covering it took an
+uncorrectable error.  The fault simulator supplies ``p_block_due``, the
+end-of-life probability that any given 64-byte block is uncorrectable;
+this module combines it with the metadata layout and a cloning policy:
+
+* a level-i node is *lost* only when **all** of its ``depth(i)`` copies
+  are uncorrectable — copies live in disjoint NVM regions (different
+  rows/banks/DIMMs), so their failures are treated as independent;
+* a lost node renders its entire coverage unverifiable.
+
+With depth 1 everywhere this reduces to the secure baseline, whose UDR
+is approximately ``p_block_due x number-of-levels`` (every level
+contributes the same expected loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.expected_loss import level_inventory
+from repro.constants import CACHELINE_BYTES
+
+
+@dataclass
+class UdrResult:
+    """UDR for one (scheme, failure-rate) point."""
+
+    scheme: str
+    p_block_due: float
+    udr: float
+    unverifiable_bytes: float
+    per_level: dict = field(default_factory=dict)
+
+    def resilience_vs(self, other: "UdrResult") -> float:
+        """How many times more resilient this scheme is than ``other``
+        (their UDR ratio, the paper's headline metric)."""
+        if self.udr == 0:
+            return float("inf")
+        return other.udr / self.udr
+
+
+def compute_udr(
+    p_block_due: float,
+    data_bytes: int,
+    clone_depths: dict = None,
+    scheme: str = "baseline",
+    p_multi_due: dict = None,
+) -> UdrResult:
+    """Expected UDR given a per-block uncorrectability probability.
+
+    ``clone_depths`` maps level -> total copies (default 1 everywhere).
+    ``p_multi_due`` (from :class:`~repro.faults.FaultSimResult`) gives
+    P(d independent locations all uncorrectable); when supplied it
+    replaces the independence approximation ``p_block_due ** d`` and
+    captures spatially-correlated DUE regions that can take out a node
+    and its clones in one event.
+    """
+    if not 0 <= p_block_due <= 1:
+        raise ValueError("p_block_due must be a probability")
+    clone_depths = clone_depths or {}
+    unverifiable = 0.0
+    per_level = {}
+
+    def p_all_lost(depth: int) -> float:
+        if p_multi_due is not None and depth in p_multi_due:
+            return p_multi_due[depth]
+        return p_block_due**depth
+
+    for info in level_inventory(data_bytes):
+        depth = clone_depths.get(info.level, 1)
+        p_node_lost = p_all_lost(depth)
+        level_bytes = info.nodes * p_node_lost * info.coverage_bytes
+        per_level[info.level] = level_bytes
+        unverifiable += level_bytes
+    return UdrResult(
+        scheme=scheme,
+        p_block_due=p_block_due,
+        udr=unverifiable / data_bytes,
+        unverifiable_bytes=unverifiable,
+        per_level=per_level,
+    )
+
+
+def scheme_depths(scheme: str, data_bytes: int) -> dict:
+    """Clone-depth map for one of the paper's schemes at this size."""
+    from repro.controller.policy import CloningPolicy
+    from repro.core import AggressiveCloning, RelaxedCloning
+
+    num_levels = len(level_inventory(data_bytes))
+    policies = {
+        "baseline": CloningPolicy(),
+        "src": RelaxedCloning(),
+        "sac": AggressiveCloning(),
+    }
+    try:
+        policy = policies[scheme.lower()]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}") from None
+    return policy.depth_map(num_levels)
+
+
+def compare_schemes(p_block_due: float, data_bytes: int, p_multi_due: dict = None) -> dict:
+    """UDR of baseline / SRC / SAC at one failure rate (Figure 11)."""
+    return {
+        scheme: compute_udr(
+            p_block_due,
+            data_bytes,
+            clone_depths=scheme_depths(scheme, data_bytes),
+            scheme=scheme,
+            p_multi_due=p_multi_due,
+        )
+        for scheme in ("baseline", "src", "sac")
+    }
+
+
+def geometric_mean(values) -> float:
+    values = [v for v in values]
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

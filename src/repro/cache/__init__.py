@@ -1,0 +1,28 @@
+"""Cache models: generic set-associative, CPU hierarchy, metadata cache."""
+
+from repro.cache.cache import CacheLine, CacheStats, Eviction, SetAssociativeCache
+from repro.cache.hierarchy import (
+    TABLE3_LEVELS,
+    CacheHierarchy,
+    HierarchyResult,
+    LevelConfig,
+)
+from repro.cache.metadata_cache import (
+    MetadataCache,
+    MetadataCacheStats,
+    MetadataEviction,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "Eviction",
+    "HierarchyResult",
+    "LevelConfig",
+    "MetadataCache",
+    "MetadataCacheStats",
+    "MetadataEviction",
+    "SetAssociativeCache",
+    "TABLE3_LEVELS",
+]

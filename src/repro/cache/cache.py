@@ -1,0 +1,178 @@
+"""Generic set-associative write-back cache with LRU replacement.
+
+Used both for the CPU-side cache hierarchy (tags only — the data path
+does not matter for timing) and for the metadata cache, which
+additionally stores live Python payloads (counter blocks and tree
+nodes) so the functional secure-memory model operates on cached copies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.constants import CACHELINE_BYTES
+
+
+@dataclass
+class CacheLine:
+    """One resident line: its payload and dirty state."""
+
+    tag: int
+    payload: object = None
+    dirty: bool = False
+
+
+@dataclass
+class Eviction:
+    """A victim pushed out of the cache."""
+
+    address: int
+    payload: object
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    writebacks: int = field(default=0)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by block address."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_size: int = CACHELINE_BYTES,
+        name: str = "cache",
+    ):
+        if size_bytes <= 0 or ways <= 0 or line_size <= 0:
+            raise ValueError("size, ways and line size must be positive")
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError("size must be a multiple of ways * line_size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self.name = name
+        # One OrderedDict per set: key = tag, order = LRU (oldest first).
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ---- address arithmetic ----
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_size) % self.num_sets
+
+    def tag_of(self, address: int) -> int:
+        return address // (self.line_size * self.num_sets)
+
+    def address_of(self, set_index: int, tag: int) -> int:
+        return (tag * self.num_sets + set_index) * self.line_size
+
+    def _align(self, address: int) -> int:
+        return address - (address % self.line_size)
+
+    # ---- lookup / fill ----
+
+    def contains(self, address: int) -> bool:
+        address = self._align(address)
+        return self.tag_of(address) in self._sets[self.set_index(address)]
+
+    def peek(self, address: int):
+        """Payload without touching LRU order; None when absent."""
+        address = self._align(address)
+        line = self._sets[self.set_index(address)].get(self.tag_of(address))
+        return line.payload if line else None
+
+    def access(self, address: int, is_write: bool = False, payload: object = None):
+        """Access a line; fills on miss.  Returns (hit, eviction-or-None).
+
+        On a write hit/fill the line is marked dirty.  ``payload``
+        replaces the stored payload when supplied (writes) or fills it
+        on a miss (reads of freshly fetched metadata).
+        """
+        address = self._align(address)
+        set_idx = self.set_index(address)
+        tag = self.tag_of(address)
+        lines = self._sets[set_idx]
+
+        if tag in lines:
+            self.stats.hits += 1
+            line = lines.pop(tag)
+            if payload is not None:
+                line.payload = payload
+            line.dirty = line.dirty or is_write
+            lines[tag] = line  # re-insert as MRU
+            return True, None
+
+        self.stats.misses += 1
+        eviction = None
+        if len(lines) >= self.ways:
+            victim_tag, victim = lines.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            eviction = Eviction(
+                address=self.address_of(set_idx, victim_tag),
+                payload=victim.payload,
+                dirty=victim.dirty,
+            )
+        lines[tag] = CacheLine(tag=tag, payload=payload, dirty=is_write)
+        return False, eviction
+
+    def update_payload(self, address: int, payload: object, mark_dirty: bool = True) -> None:
+        """Mutate the payload of a resident line (no LRU movement)."""
+        address = self._align(address)
+        line = self._sets[self.set_index(address)].get(self.tag_of(address))
+        if line is None:
+            raise KeyError(f"address {address:#x} not resident in {self.name}")
+        line.payload = payload
+        line.dirty = line.dirty or mark_dirty
+
+    def invalidate(self, address: int):
+        """Drop a line without writeback; returns its Eviction or None."""
+        address = self._align(address)
+        set_idx = self.set_index(address)
+        tag = self.tag_of(address)
+        line = self._sets[set_idx].pop(tag, None)
+        if line is None:
+            return None
+        return Eviction(address=address, payload=line.payload, dirty=line.dirty)
+
+    def flush_all(self):
+        """Evict every resident line (dirty ones returned for writeback)."""
+        evictions = []
+        for set_idx, lines in enumerate(self._sets):
+            for tag, line in lines.items():
+                evictions.append(
+                    Eviction(
+                        address=self.address_of(set_idx, tag),
+                        payload=line.payload,
+                        dirty=line.dirty,
+                    )
+                )
+            lines.clear()
+        return evictions
+
+    def resident_addresses(self):
+        out = []
+        for set_idx, lines in enumerate(self._sets):
+            out.extend(self.address_of(set_idx, tag) for tag in lines)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._sets)

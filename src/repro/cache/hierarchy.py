@@ -1,0 +1,104 @@
+"""CPU-side cache hierarchy (Table 3: L1 / L2 / shared LLC).
+
+The hierarchy is a tag-only timing filter: the functional data path
+lives behind the memory controller, so the hierarchy's only job is to
+decide which requests reach memory and to charge hit latencies.
+An inclusive, non-exclusive model with write-back/write-allocate
+semantics at every level is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import SetAssociativeCache
+from repro.constants import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class LevelConfig:
+    """Size/associativity/latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+
+
+#: Table 3 configuration.
+TABLE3_LEVELS = (
+    LevelConfig("L1", 32 * 1024, 2, 2),
+    LevelConfig("L2", 512 * 1024, 8, 20),
+    LevelConfig("LLC", 8 * 1024 * 1024, 64, 32),
+)
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one CPU access through the hierarchy."""
+
+    hit_level: str          # name of level that hit, or "memory"
+    latency_cycles: int     # cycles spent in cache levels
+    memory_read: bool       # an LLC miss requiring a memory fill
+    writebacks: list        # block addresses written back to memory
+
+
+class CacheHierarchy:
+    """Multi-level write-back hierarchy in front of the memory controller."""
+
+    def __init__(self, levels=TABLE3_LEVELS, line_size: int = CACHELINE_BYTES):
+        if not levels:
+            raise ValueError("at least one cache level required")
+        self.configs = list(levels)
+        self.caches = [
+            SetAssociativeCache(c.size_bytes, c.ways, line_size, name=c.name)
+            for c in self.configs
+        ]
+        self.line_size = line_size
+
+    def access(self, address: int, is_write: bool) -> HierarchyResult:
+        """Run one load/store through the hierarchy.
+
+        A hit at level i charges the sum of latencies of levels 1..i.
+        A full miss additionally triggers a memory fill; dirty victims
+        evicted from the last level become memory writebacks.
+        """
+        latency = 0
+        writebacks = []
+        for level, (config, cache) in enumerate(zip(self.configs, self.caches)):
+            latency += config.latency_cycles
+            hit, eviction = cache.access(address, is_write=is_write)
+            if eviction and eviction.dirty and level == len(self.caches) - 1:
+                writebacks.append(eviction.address)
+            if hit:
+                # Promote into upper levels (inclusive fill) without
+                # disturbing dirty state there.
+                for upper in self.caches[:level]:
+                    if not upper.contains(address):
+                        upper.access(address, is_write=False)
+                return HierarchyResult(
+                    hit_level=config.name,
+                    latency_cycles=latency,
+                    memory_read=False,
+                    writebacks=writebacks,
+                )
+        return HierarchyResult(
+            hit_level="memory",
+            latency_cycles=latency,
+            memory_read=True,
+            writebacks=writebacks,
+        )
+
+    def flush_dirty(self):
+        """Flush all dirty lines (e.g., at workload end); returns
+        addresses needing memory writeback, LLC last."""
+        dirty = []
+        for cache in self.caches:
+            for eviction in cache.flush_all():
+                if eviction.dirty:
+                    dirty.append(eviction.address)
+        return dirty
+
+    @property
+    def llc(self) -> SetAssociativeCache:
+        return self.caches[-1]

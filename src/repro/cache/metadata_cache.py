@@ -1,0 +1,232 @@
+"""The volatile security-metadata cache (Table 3: 512kB, 8-way).
+
+Unlike the CPU hierarchy this cache stores *live payloads* — counter
+blocks and ToC nodes — because the lazy-update scheme mutates nodes in
+the cache and only persists them on eviction.  It also exposes stable
+(set, way) slots: Anubis' shadow table mirrors the cache organization,
+one shadow entry per cache slot, so the controller needs to know
+exactly which slot a metadata block occupies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import CACHELINE_BYTES
+
+
+@dataclass
+class MetadataEviction:
+    """A metadata block pushed out of the cache."""
+
+    address: int
+    payload: object
+    dirty: bool
+    set_index: int
+    way: int
+
+
+@dataclass
+class MetadataCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Slot:
+    __slots__ = ("address", "payload", "dirty", "stamp")
+
+    def __init__(self):
+        self.address = None
+        self.payload = None
+        self.dirty = False
+        self.stamp = 0
+
+
+class MetadataCache:
+    """Set-associative LRU cache of metadata payloads with fixed ways."""
+
+    def __init__(
+        self,
+        size_bytes: int = 512 * 1024,
+        ways: int = 8,
+        line_size: int = CACHELINE_BYTES,
+    ):
+        if size_bytes % (ways * line_size) != 0:
+            raise ValueError("size must be a multiple of ways * line_size")
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self._sets = [[_Slot() for _ in range(ways)] for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = MetadataCacheStats()
+
+    @property
+    def num_slots(self) -> int:
+        return self.num_sets * self.ways
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_size) % self.num_sets
+
+    def slot_id(self, set_index: int, way: int) -> int:
+        """Flat slot index used to address the shadow table."""
+        return set_index * self.ways + way
+
+    def _find(self, address: int):
+        set_idx = self.set_index(address)
+        for way, slot in enumerate(self._sets[set_idx]):
+            if slot.address == address:
+                return set_idx, way, slot
+        return set_idx, None, None
+
+    def contains(self, address: int) -> bool:
+        return self._find(address)[2] is not None
+
+    def get(self, address: int):
+        """Payload for a resident block (LRU-touch), or None on miss.
+
+        Hit/miss statistics are recorded here: every metadata lookup
+        goes through ``get`` before the controller decides to fill.
+        """
+        self._clock += 1
+        __, __, slot = self._find(address)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        slot.stamp = self._clock
+        return slot.payload
+
+    def peek(self, address: int):
+        """Payload without LRU-touch or stats; None when absent."""
+        return getattr(self._find(address)[2], "payload", None)
+
+    def location_of(self, address: int):
+        """(set, way) of a resident block, or None."""
+        set_idx, way, slot = self._find(address)
+        return (set_idx, way) if slot is not None else None
+
+    def fill(self, address: int, payload: object, dirty: bool = False):
+        """Insert a block, evicting the set's LRU victim if needed.
+
+        Returns the :class:`MetadataEviction` (or None).  Filling an
+        already-resident address updates it in place.
+        """
+        if address % self.line_size != 0:
+            raise ValueError(f"address {address:#x} not line-aligned")
+        self._clock += 1
+        set_idx, way, slot = self._find(address)
+        if slot is not None:
+            slot.payload = payload
+            slot.dirty = slot.dirty or dirty
+            slot.stamp = self._clock
+            return None
+
+        slots = self._sets[set_idx]
+        victim_way, victim = None, None
+        for w, s in enumerate(slots):
+            if s.address is None:
+                victim_way, victim = w, s
+                break
+        eviction = None
+        if victim is None:
+            victim_way, victim = min(
+                enumerate(slots), key=lambda pair: pair[1].stamp
+            )
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            eviction = MetadataEviction(
+                address=victim.address,
+                payload=victim.payload,
+                dirty=victim.dirty,
+                set_index=set_idx,
+                way=victim_way,
+            )
+        victim.address = address
+        victim.payload = payload
+        victim.dirty = dirty
+        victim.stamp = self._clock
+        return eviction
+
+    def mark_dirty(self, address: int) -> None:
+        __, __, slot = self._find(address)
+        if slot is None:
+            raise KeyError(f"address {address:#x} not resident")
+        slot.dirty = True
+
+    def mark_clean(self, address: int) -> None:
+        """Clear the dirty bit after an in-place persist (no eviction)."""
+        __, __, slot = self._find(address)
+        if slot is None:
+            raise KeyError(f"address {address:#x} not resident")
+        slot.dirty = False
+
+    def is_dirty(self, address: int) -> bool:
+        slot = self._find(address)[2]
+        return slot is not None and slot.dirty
+
+    def invalidate(self, address: int):
+        """Drop a block (no writeback); returns its eviction record."""
+        set_idx, way, slot = self._find(address)
+        if slot is None:
+            return None
+        record = MetadataEviction(
+            address=slot.address,
+            payload=slot.payload,
+            dirty=slot.dirty,
+            set_index=set_idx,
+            way=way,
+        )
+        slot.address = None
+        slot.payload = None
+        slot.dirty = False
+        slot.stamp = 0
+        return record
+
+    def flush_all(self):
+        """Evict everything; returns records for all resident blocks."""
+        records = []
+        for set_idx, slots in enumerate(self._sets):
+            for way, slot in enumerate(slots):
+                if slot.address is None:
+                    continue
+                records.append(
+                    MetadataEviction(
+                        address=slot.address,
+                        payload=slot.payload,
+                        dirty=slot.dirty,
+                        set_index=set_idx,
+                        way=way,
+                    )
+                )
+                slot.address = None
+                slot.payload = None
+                slot.dirty = False
+                slot.stamp = 0
+        return records
+
+    def resident(self):
+        """All resident (address, payload, dirty) triples."""
+        out = []
+        for slots in self._sets:
+            out.extend(
+                (s.address, s.payload, s.dirty)
+                for s in slots
+                if s.address is not None
+            )
+        return sorted(out, key=lambda t: t[0])
+
+    def __len__(self) -> int:
+        return sum(
+            1 for slots in self._sets for s in slots if s.address is not None
+        )

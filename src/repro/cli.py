@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's main entry points:
+
+* ``info``        — metadata layout and overheads for a memory size;
+* ``perf``        — run workloads through the timing simulator and
+  compare schemes (Figure 10 style);
+* ``reliability`` — fault simulation + UDR across FIT rates
+  (Figure 11/12 style);
+* ``crash-test``  — functional crash/recovery exercise with optional
+  shadow-entry corruption.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import compare_schemes, figure12_table, level_inventory
+from repro.core import SCHEMES, make_controller
+from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
+from repro.recovery import OsirisRecovery, RecoveryManager
+from repro.sim import SystemConfig, run_schemes
+from repro.workloads import standard_suite
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _parse_size(text: str) -> int:
+    """'16gb' / '512mb' / '64kb' / plain bytes -> int."""
+    text = text.strip().lower()
+    for suffix, scale in (("tb", 1 << 40), ("gb", 1 << 30),
+                          ("mb", 1 << 20), ("kb", 1 << 10), ("b", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * scale)
+    return int(text)
+
+
+def cmd_info(args) -> int:
+    size = _parse_size(args.size)
+    inventory = level_inventory(size)
+    print(f"memory: {size / (1 << 30):.2f} GiB protected data")
+    print(f"tree levels (root excluded): {len(inventory)}")
+    print(f"{'level':>6} {'nodes':>14} {'coverage/node':>15}")
+    total_nodes = 0
+    for info in inventory:
+        total_nodes += info.nodes
+        print(f"{info.level:>6} {info.nodes:>14,} "
+              f"{info.coverage_bytes / (1 << 20):>12.2f} MB")
+    overhead = total_nodes * 64 / size
+    print(f"metadata storage overhead: {overhead * 100:.2f}% "
+          "(paper: ~1.78% incl. counters)")
+    for scheme in SCHEMES:
+        from repro.analysis import scheme_depths
+
+        depths = scheme_depths(scheme, size)
+        extra = sum(
+            (depths[info.level] - 1) * info.nodes for info in inventory
+        )
+        print(f"{scheme:>9}: clone depths {list(depths.values())}, "
+              f"clone storage {extra * 64 / size * 100:.3f}%")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    config = SystemConfig.scaled(memory_mb=args.memory_mb)
+    factories = standard_suite(
+        footprint_bytes=args.footprint_mb * MB, num_refs=args.refs
+    )
+    if args.workloads:
+        wanted = set(args.workloads)
+        factories = [f for f in factories if f().name in wanted]
+        if not factories:
+            print(f"no workloads match {sorted(wanted)}")
+            return 1
+    print(f"{'workload':>12} {'SRC time':>9} {'SAC time':>9} "
+          f"{'SRC writes':>11} {'SAC writes':>11}")
+    for factory in factories:
+        out = run_schemes(factory, config=config)
+        base = out["baseline"]
+        print(f"{base.workload:>12} "
+              f"{out['src'].slowdown_vs(base) * 100:>8.2f}% "
+              f"{out['sac'].slowdown_vs(base) * 100:>8.2f}% "
+              f"{out['src'].write_overhead_vs(base) * 100:>10.2f}% "
+              f"{out['sac'].write_overhead_vs(base) * 100:>10.2f}%")
+    return 0
+
+
+def cmd_reliability(args) -> int:
+    size = _parse_size(args.size)
+    print(f"{'FIT':>4} {'MTBF(h)':>9} {'baseline':>12} {'SRC':>12} {'SAC':>12}")
+    for fit in args.fits:
+        sim = FaultSimulator(
+            FaultSimConfig(
+                fit_per_device=fit, trials=args.trials, repair=args.ecc
+            )
+        )
+        result = sim.run(trials_per_k=max(500, args.trials // 8))
+        udr = compare_schemes(
+            result.p_block_due, size, p_multi_due=result.p_multi_due_cross
+        )
+        print(f"{fit:>4} {mtbf_hours(fit):>9.1f} "
+              f"{udr['baseline'].udr:>12.3e} {udr['src'].udr:>12.3e} "
+              f"{udr['sac'].udr:>12.3e}")
+    if args.decompose:
+        sim = FaultSimulator(
+            FaultSimConfig(fit_per_device=args.fits[-1], trials=args.trials,
+                           repair=args.ecc)
+        )
+        result = sim.run(trials_per_k=max(500, args.trials // 8))
+        print(f"\nloss decomposition at FIT {args.fits[-1]}:")
+        for scheme, d in figure12_table(result.p_block_due, size).items():
+            print(f"  {scheme:>11}: L_total {d.l_total_bytes / (1 << 20):8.2f} MB "
+                  f"({d.inflation:.2f}x vs non-secure)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.figures import run_all
+
+    run_all(args.out, quick=not args.full)
+    return 0
+
+
+def cmd_crash_test(args) -> int:
+    ctrl = make_controller(
+        args.scheme,
+        args.data_kb * KB,
+        metadata_cache_bytes=args.cache_kb * KB,
+        integrity_mode=args.integrity,
+        rng=np.random.default_rng(args.seed),
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    expect = {}
+    for _ in range(args.ops):
+        block = int(rng.integers(0, ctrl.num_data_blocks))
+        data = bytes(int(x) for x in rng.integers(0, 256, 64))
+        ctrl.write(block, data)
+        expect[block] = data
+    image = ctrl.crash()
+    print(f"crashed after {args.ops} writes "
+          f"({len(expect)} distinct blocks)")
+
+    if args.corrupt_shadow and args.integrity == "toc":
+        target = None
+        for slot in range(ctrl.amap.shadow_entries):
+            address = ctrl.amap.shadow_entry_addr(slot)
+            if not image.nvm.is_touched(address):
+                continue
+            raw = image.nvm.read_block(address)
+            if any(not r.is_empty
+                   for r in ctrl.shadow_codec.decode_candidates(raw)):
+                target = address
+                break
+        if target is not None:
+            # Hit the MAC field of the (first) record so the corruption
+            # matters: byte 56 in the Anubis layout, 24 in Soteria's.
+            mac_byte = 24 if ctrl.shadow_codec.copies > 1 else 56
+            image.nvm.flip_bits(target, [mac_byte * 8 + 1])
+            print(f"corrupted shadow entry at {target:#x}")
+
+    try:
+        if args.integrity == "toc":
+            recovered, report = RecoveryManager(image).recover()
+            print(f"recovery OK: {report.entries_scanned} entries, "
+                  f"{report.counters_recovered} counters, "
+                  f"{report.nodes_recovered} nodes, "
+                  f"{report.repaired_entries} repaired entries")
+        else:
+            recovered, report = OsirisRecovery(image).recover()
+            print(f"recovery OK: {report.counter_blocks_scanned} counter "
+                  f"blocks, {report.trials} trials, "
+                  f"{report.nodes_regenerated} nodes regenerated")
+    except Exception as exc:  # RecoveryError surfaces to the operator
+        print(f"RECOVERY FAILED: {exc}")
+        return 1
+    losses = sum(
+        1 for block, data in expect.items()
+        if recovered.read(block).data != data
+    )
+    print(f"data check: {len(expect) - losses}/{len(expect)} blocks intact")
+    return 0 if losses == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Soteria (MICRO 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="metadata layout for a memory size")
+    p.add_argument("--size", default="1tb", help="protected data size (e.g. 1tb)")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("perf", help="timing simulation across schemes")
+    p.add_argument("--memory-mb", type=int, default=32)
+    p.add_argument("--footprint-mb", type=int, default=8)
+    p.add_argument("--refs", type=int, default=10_000)
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="subset of suite names (default: all)")
+    p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("reliability", help="FaultSim + UDR sweep")
+    p.add_argument("--size", default="1tb")
+    p.add_argument("--fits", type=float, nargs="+", default=[10, 40, 80])
+    p.add_argument("--trials", type=int, default=20_000)
+    p.add_argument("--ecc", default="chipkill",
+                   choices=["chipkill", "chipkill2", "secded", "none"])
+    p.add_argument("--decompose", action="store_true",
+                   help="print the Figure 12 loss decomposition")
+    p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("figures", help="regenerate all paper figures as CSV")
+    p.add_argument("--out", default="results",
+                   help="output directory (default: results/)")
+    p.add_argument("--full", action="store_true",
+                   help="full-size campaigns (slower; bench-suite scale)")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("crash-test", help="functional crash/recovery run")
+    p.add_argument("--scheme", default="src", choices=list(SCHEMES))
+    p.add_argument("--integrity", default="toc", choices=["toc", "bmt"])
+    p.add_argument("--data-kb", type=int, default=256)
+    p.add_argument("--cache-kb", type=int, default=4)
+    p.add_argument("--ops", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--corrupt-shadow", action="store_true")
+    p.set_defaults(func=cmd_crash_test)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Global constants shared across the Soteria reproduction.
+
+The values here mirror the simulated system of the paper (Table 3) and
+the standard secure-memory layout assumptions (64-byte cache lines,
+64-bit MACs, 8-ary Tree of Counters, 64-ary split counters).
+"""
+
+#: Size of a cache line / memory block in bytes.  Every unit of data,
+#: counter block, and tree node in the paper is one 64-byte block.
+CACHELINE_BYTES = 64
+
+#: Size of a MAC value in bits (Section 3.2.2: "Soteria keeps the MAC
+#: size (64 bit) unchanged").
+MAC_BITS = 64
+MAC_BYTES = MAC_BITS // 8
+
+#: Arity of the Tree of Counters above the encryption-counter level.
+TOC_ARITY = 8
+
+#: Number of split counters packed into one 64-byte encryption-counter
+#: block (VAULT-style 64-ary split counters).
+SPLIT_COUNTER_ARITY = 64
+
+#: Number of ToC counters (plus one MAC) in an intermediate node.
+TOC_COUNTERS_PER_NODE = 8
+
+#: Bits in a split-counter minor counter.  64 minors of 7 bits plus one
+#: 64-bit major counter and a 64-bit MAC fit a 64-byte block.
+MINOR_COUNTER_BITS = 7
+
+#: Bits in the major counter of a split-counter block.
+MAJOR_COUNTER_BITS = 64
+
+#: Bits of counter LSB stored per shadow-table entry (Soteria reduces
+#: Anubis' 49-bit LSB field to 16 bits; Section 3.2.1).
+SHADOW_LSB_BITS_ANUBIS = 49
+SHADOW_LSB_BITS_SOTERIA = 16
+
+#: Maximum cloning depth.  Bounded by the minimum WPQ size of eight
+#: entries so that all clones of a node commit atomically (Section 3.2.1).
+MAX_CLONE_DEPTH = 5
+
+#: Default Write Pending Queue capacity in entries.  "WPQ size is
+#: limited to only tens of entries (e.g., 8 to 64)".
+DEFAULT_WPQ_ENTRIES = 8
+
+#: PCM latencies from Table 3, in nanoseconds.
+PCM_READ_NS = 150
+PCM_WRITE_NS = 300
+
+#: Simulated CPU clock from Table 3 (2.67 GHz).
+CPU_CLOCK_GHZ = 2.67

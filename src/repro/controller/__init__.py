@@ -1,0 +1,44 @@
+"""Secure NVM memory controller: datapath, shadow tracking, policies."""
+
+from repro.controller.errors import (
+    DataPoisonedError,
+    IntegrityError,
+    RecoveryError,
+    SecureMemoryError,
+)
+from repro.controller.payloads import CounterEntry, MacBlockEntry, NodeEntry
+from repro.controller.policy import CloningPolicy
+from repro.controller.secure_controller import (
+    CrashImage,
+    ReadResult,
+    SecureMemoryController,
+    TrustedState,
+)
+from repro.controller.shadow import (
+    AnubisShadowCodec,
+    ShadowManager,
+    ShadowRecord,
+    reconstruct_counter,
+)
+from repro.controller.stats import ControllerStats, OpCost
+
+__all__ = [
+    "AnubisShadowCodec",
+    "CloningPolicy",
+    "ControllerStats",
+    "CounterEntry",
+    "CrashImage",
+    "DataPoisonedError",
+    "IntegrityError",
+    "MacBlockEntry",
+    "NodeEntry",
+    "OpCost",
+    "ReadResult",
+    "RecoveryError",
+    "SecureMemoryController",
+    "SecureMemoryError",
+    "ShadowManager",
+    "ShadowRecord",
+    "TrustedState",
+    "reconstruct_counter",
+]

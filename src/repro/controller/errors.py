@@ -1,0 +1,42 @@
+"""Exceptions raised by the secure memory controller and recovery."""
+
+from __future__ import annotations
+
+
+class SecureMemoryError(Exception):
+    """Base class for all secure-memory failures."""
+
+
+class DataPoisonedError(SecureMemoryError):
+    """An uncorrectable error in a *data* block (the paper's L_error).
+
+    The block itself is lost, but the damage is confined to one block —
+    unlike metadata errors, which amplify.
+    """
+
+    def __init__(self, address: int):
+        super().__init__(f"uncorrectable error in data block at {address:#x}")
+        self.address = address
+
+
+class IntegrityError(SecureMemoryError):
+    """Integrity verification failed and no copy could repair it.
+
+    In the baseline (drop-and-lock) this is fatal for everything the
+    failing node covers; Soteria reaches this state only when *all*
+    clones fail simultaneously.
+    """
+
+    def __init__(self, address: int, level: int, index: int, reason: str):
+        super().__init__(
+            f"integrity failure at {address:#x} (level {level}, index "
+            f"{index}): {reason}"
+        )
+        self.address = address
+        self.level = level
+        self.index = index
+        self.reason = reason
+
+
+class RecoveryError(SecureMemoryError):
+    """Post-crash recovery could not restore a consistent secure state."""

@@ -1,0 +1,32 @@
+"""Cloning-policy protocol and the no-cloning baseline.
+
+A policy maps a tree level (1 = counters) to the total number of stored
+copies of each node at that level (original included).  The baseline
+keeps exactly one copy everywhere; Soteria's SRC/SAC policies live in
+:mod:`repro.core.cloning`.
+"""
+
+from __future__ import annotations
+
+
+class CloningPolicy:
+    """Base policy: no clones anywhere (the secure baseline)."""
+
+    name = "baseline"
+
+    def depth(self, level: int, num_levels: int) -> int:
+        """Total copies of a node at ``level`` in a tree of
+        ``num_levels`` in-memory levels."""
+        if not 1 <= level <= num_levels:
+            raise ValueError(f"level {level} out of range")
+        return 1
+
+    def depth_map(self, num_levels: int) -> dict:
+        """{level: depth} for an entire tree — what AddressMap consumes."""
+        return {
+            level: self.depth(level, num_levels)
+            for level in range(1, num_levels + 1)
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

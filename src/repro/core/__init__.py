@@ -1,0 +1,20 @@
+"""Soteria: metadata cloning, duplicated shadow entries, fault repair."""
+
+from repro.core.cloning import (
+    SAC_DEPTHS,
+    AggressiveCloning,
+    RelaxedCloning,
+    UniformCloning,
+)
+from repro.core.shadow_dup import SoteriaShadowCodec
+from repro.core.soteria import SCHEMES, make_controller
+
+__all__ = [
+    "AggressiveCloning",
+    "RelaxedCloning",
+    "SAC_DEPTHS",
+    "SCHEMES",
+    "SoteriaShadowCodec",
+    "UniformCloning",
+    "make_controller",
+]

@@ -1,0 +1,66 @@
+"""Soteria Metadata Cloning policies (Section 3.2.1, Table 2).
+
+Two flavors:
+
+* **Soteria Relaxed Cloning (SRC)** — every node has exactly one clone
+  (depth 2) regardless of its level.
+* **Soteria Aggressive Cloning (SAC)** — upper levels get more clones,
+  capped at five because all copies of a node must commit atomically
+  through the (minimum eight-entry) WPQ alongside the up-to-three
+  writes a secure recoverable write already generates.
+
+Depths per Table 2 (level 1 is the leaf/counter level)::
+
+        L1  L2  L3  L4  L5  L6  L7  L8  L9
+  SRC    2   2   2   2   2   2   2   2   2
+  SAC    2   2   3   3   4   4   4   4   5
+
+Trees deeper than nine levels keep depth 5 above L9; the paper chose
+SAC depths from the eviction-rate analysis of Figure 4 (the two lowest
+levels see >10% of evictions and get no extra clones; levels with
+1-10% get one extra; levels below 1% get two or more).
+"""
+
+from __future__ import annotations
+
+from repro.constants import MAX_CLONE_DEPTH
+from repro.controller.policy import CloningPolicy
+
+#: Table 2, SAC row, indexed by level (level 1 at index 1).
+SAC_DEPTHS = {1: 2, 2: 2, 3: 3, 4: 3, 5: 4, 6: 4, 7: 4, 8: 4, 9: 5}
+
+
+class RelaxedCloning(CloningPolicy):
+    """SRC: one clone for every node at every level."""
+
+    name = "src"
+
+    def depth(self, level: int, num_levels: int) -> int:
+        super().depth(level, num_levels)  # bounds check
+        return 2
+
+
+class AggressiveCloning(CloningPolicy):
+    """SAC: clone depth grows with level, capped at MAX_CLONE_DEPTH."""
+
+    name = "sac"
+
+    def depth(self, level: int, num_levels: int) -> int:
+        super().depth(level, num_levels)  # bounds check
+        return min(SAC_DEPTHS.get(min(level, 9), MAX_CLONE_DEPTH), MAX_CLONE_DEPTH)
+
+
+class UniformCloning(CloningPolicy):
+    """A parameterized policy for ablations: same depth at every level."""
+
+    def __init__(self, depth: int, name: str = None):
+        if not 1 <= depth <= MAX_CLONE_DEPTH:
+            raise ValueError(
+                f"depth must be in [1, {MAX_CLONE_DEPTH}], got {depth}"
+            )
+        self._depth = depth
+        self.name = name or f"uniform{depth}"
+
+    def depth(self, level: int, num_levels: int) -> int:
+        CloningPolicy.depth(self, level, num_levels)  # bounds check
+        return self._depth

@@ -1,0 +1,41 @@
+"""Factories for the three controller configurations the paper compares.
+
+* ``baseline``  — improved-security NVM system per the state of the art
+  (ToC + lazy update + Anubis tracking), no clones (Section 5.2).
+* ``src``       — Soteria Relaxed Cloning: every node duplicated once.
+* ``sac``       — Soteria Aggressive Cloning: upper levels duplicated
+  more (Table 2), plus the duplicated shadow-entry format.
+
+Both Soteria variants also install the duplicated shadow codec — the
+Figure 8b layout is part of the Soteria design, not an SRC/SAC knob.
+"""
+
+from __future__ import annotations
+
+from repro.controller import AnubisShadowCodec, SecureMemoryController
+from repro.controller.policy import CloningPolicy
+from repro.core.cloning import AggressiveCloning, RelaxedCloning
+from repro.core.shadow_dup import SoteriaShadowCodec
+
+SCHEMES = ("baseline", "src", "sac")
+
+
+def make_controller(scheme: str, data_bytes: int, **kwargs) -> SecureMemoryController:
+    """Build a controller for one of the paper's schemes.
+
+    Extra keyword arguments pass straight to
+    :class:`~repro.controller.SecureMemoryController` (cache size, NVM
+    device, ``functional_crypto``, seeds, ...).
+    """
+    scheme = scheme.lower()
+    if scheme == "baseline":
+        policy, codec = CloningPolicy(), AnubisShadowCodec()
+    elif scheme == "src":
+        policy, codec = RelaxedCloning(), SoteriaShadowCodec()
+    elif scheme == "sac":
+        policy, codec = AggressiveCloning(), SoteriaShadowCodec()
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
+    return SecureMemoryController(
+        data_bytes, clone_policy=policy, shadow_codec=codec, **kwargs
+    )

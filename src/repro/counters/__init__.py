@@ -1,0 +1,6 @@
+"""Counter organizations: 64-ary split counters and ToC node counters."""
+
+from repro.counters.split_counter import OverflowEvent, SplitCounterBlock
+from repro.counters.toc_node import TocNode
+
+__all__ = ["OverflowEvent", "SplitCounterBlock", "TocNode"]

@@ -1,0 +1,7 @@
+"""Cryptographic substrate: PRF, counter-mode encryption, 64-bit MACs."""
+
+from repro.crypto.counter_mode import CounterModeEngine, xor_bytes
+from repro.crypto.mac import MacEngine
+from repro.crypto.prf import Prf
+
+__all__ = ["CounterModeEngine", "MacEngine", "Prf", "xor_bytes"]

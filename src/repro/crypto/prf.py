@@ -1,0 +1,86 @@
+"""Pseudo-random function used as the cipher primitive.
+
+The paper's memory controller uses an AES engine (AES-CTR for one-time
+pads, AES-GCM-style MACs).  This reproduction substitutes a keyed
+SHA-256 PRF: the functional properties the evaluation depends on —
+a unique, unpredictable pad per ``(key, address, counter)`` tuple and a
+keyed tag that detects any modification — hold identically, while the
+implementation stays dependency-free (hashlib only).  The substitution
+is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+
+
+class Prf:
+    """A keyed pseudo-random function producing fixed-size pads.
+
+    Instances are cheap; the key is held as bytes and every call is a
+    single HMAC-SHA256 invocation (expanded as needed for longer
+    outputs).
+    """
+
+    DIGEST_BYTES = 32
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"key must be bytes, got {type(key).__name__}")
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._key = bytes(key)
+
+    @classmethod
+    def generate(cls, rng=None) -> "Prf":
+        """Create a PRF with a fresh random key.
+
+        ``rng`` may be a ``numpy.random.Generator`` for deterministic
+        tests; otherwise ``os.urandom`` is used.
+        """
+        if rng is None:
+            return cls(os.urandom(32))
+        return cls(bytes(int(x) for x in rng.integers(0, 256, size=32)))
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    def evaluate(self, *parts: bytes, length: int = DIGEST_BYTES) -> bytes:
+        """Return ``length`` pseudo-random bytes bound to ``parts``.
+
+        Parts are length-prefixed before hashing so that distinct part
+        tuples can never collide by concatenation ambiguity.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        message = b"".join(
+            len(part).to_bytes(4, "little") + bytes(part) for part in parts
+        )
+        out = bytearray()
+        block_index = 0
+        while len(out) < length:
+            out += hmac.new(
+                self._key,
+                block_index.to_bytes(4, "little") + message,
+                hashlib.sha256,
+            ).digest()
+            block_index += 1
+        return bytes(out[:length])
+
+    def one_time_pad(self, address: int, counter: int, length: int) -> bytes:
+        """Generate the OTP for counter-mode encryption.
+
+        The initialization vector binds the pad to the block address and
+        the current counter value, exactly as in Figure 1 of the paper.
+        """
+        if address < 0 or counter < 0:
+            raise ValueError("address and counter must be non-negative")
+        return self.evaluate(
+            b"otp",
+            address.to_bytes(8, "little"),
+            counter.to_bytes(16, "little"),
+            length=length,
+        )

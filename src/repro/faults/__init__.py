@@ -1,0 +1,32 @@
+"""Memory fault simulation: fault modes, ECC models, Monte Carlo engine."""
+
+from repro.faults.config import (
+    HOPPER_RELATIVE_RATES,
+    FaultSimConfig,
+    mtbf_hours,
+)
+from repro.faults.ecc import ChipkillCorrect, DueRegion, NoEcc, SecDed, make_ecc
+from repro.faults.fault_model import FAULT_CLASSES, Extent, Fault, sample_fault
+from repro.faults.faultsim import (
+    FaultSimResult,
+    FaultSimulator,
+    union_block_count,
+)
+
+__all__ = [
+    "ChipkillCorrect",
+    "DueRegion",
+    "Extent",
+    "FAULT_CLASSES",
+    "Fault",
+    "FaultSimConfig",
+    "FaultSimResult",
+    "FaultSimulator",
+    "HOPPER_RELATIVE_RATES",
+    "NoEcc",
+    "SecDed",
+    "mtbf_hours",
+    "make_ecc",
+    "sample_fault",
+    "union_block_count",
+]

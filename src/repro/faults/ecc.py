@@ -1,0 +1,139 @@
+"""ECC models: which fault combinations become uncorrectable.
+
+Codewords stripe one 512-bit data block across the chips of one rank at
+identical (bank, row, column-group) coordinates, so correctability is
+decided per (rank, bank, row, group) cell:
+
+* **Chipkill-correct** tolerates *any* damage confined to a single chip
+  of the rank.  A cell is uncorrectable (DUE) only where faults from
+  two or more different chips overlap.
+* **SECDED** corrects one bit per codeword: any multi-bit fault mode
+  (word/column/row/bank/...) makes its whole extent uncorrectable on
+  its own, and two single-bit faults from different chips that land in
+  the same cell are also uncorrectable.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.faults.fault_model import Extent, Fault
+
+
+class DueRegion:
+    """An uncorrectable region: a rank plus a block extent."""
+
+    def __init__(self, rank: int, extent: Extent):
+        self.rank = rank
+        self.extent = extent
+
+    def block_count(self, geometry) -> int:
+        return self.extent.block_count(geometry)
+
+    def blocks(self, geometry, limit: int = None):
+        return self.extent.blocks(geometry, self.rank, limit=limit)
+
+    def __repr__(self) -> str:
+        return f"DueRegion(rank={self.rank}, extent={self.extent})"
+
+
+def _multi_chip_due(faults_by_chip, rank, chips_needed: int):
+    """DUE extents where faults of ``chips_needed`` different chips
+    overlap in the same codeword cells."""
+    regions = []
+    chips = sorted(faults_by_chip)
+    if len(chips) < chips_needed:
+        return regions
+    from itertools import product
+
+    for chip_combo in combinations(chips, chips_needed):
+        fault_lists = [faults_by_chip[chip] for chip in chip_combo]
+        for fault_tuple in product(*fault_lists):
+            overlap = fault_tuple[0].extent
+            for fault in fault_tuple[1:]:
+                overlap = overlap.intersect(fault.extent)
+                if overlap.is_empty():
+                    break
+            else:
+                regions.append(DueRegion(rank, overlap))
+    return regions
+
+
+def _pairwise_due(faults_by_chip, rank):
+    """DUE extents where faults of two different chips overlap."""
+    return _multi_chip_due(faults_by_chip, rank, 2)
+
+
+class ChipkillCorrect:
+    """Symbol-based correction per codeword.
+
+    ``correctable_chips`` failed chips per codeword are repairable
+    (1 = classic Chipkill-correct, 2 = double-Chipkill, the "stronger
+    ECC" of the Section 6.2 discussion); damage confined to that many
+    chips is fully corrected, one more chip makes the cell DUE.
+    """
+
+    def __init__(self, correctable_chips: int = 1):
+        if correctable_chips < 1:
+            raise ValueError("correctable_chips must be >= 1")
+        self.correctable_chips = correctable_chips
+        self.name = (
+            "chipkill" if correctable_chips == 1
+            else f"chipkill{correctable_chips}"
+        )
+
+    def uncorrectable_regions(self, faults, geometry):
+        """DUE regions for one trial's fault list."""
+        regions = []
+        for rank in range(geometry.ranks):
+            by_chip = {}
+            for fault in faults:
+                if fault.rank == rank:
+                    by_chip.setdefault(fault.chip, []).append(fault)
+            regions.extend(
+                _multi_chip_due(by_chip, rank, self.correctable_chips + 1)
+            )
+        return regions
+
+
+class SecDed:
+    """Single-error-correct, double-error-detect per codeword."""
+
+    name = "secded"
+
+    def uncorrectable_regions(self, faults, geometry):
+        regions = []
+        for rank in range(geometry.ranks):
+            rank_faults = [f for f in faults if f.rank == rank]
+            # Any multi-bit mode defeats SECDED over its whole extent.
+            for fault in rank_faults:
+                if fault.multibit:
+                    regions.append(DueRegion(rank, fault.extent))
+            # Two single-bit faults from different chips in one cell.
+            by_chip = {}
+            for fault in rank_faults:
+                if not fault.multibit:
+                    by_chip.setdefault(fault.chip, []).append(fault)
+            regions.extend(_pairwise_due(by_chip, rank))
+        return regions
+
+
+class NoEcc:
+    """Every fault extent is immediately uncorrectable (for ablations)."""
+
+    name = "none"
+
+    def uncorrectable_regions(self, faults, geometry):
+        return [DueRegion(f.rank, f.extent) for f in faults]
+
+
+def make_ecc(name: str):
+    if name == "chipkill":
+        return ChipkillCorrect()
+    if name == "chipkill2":
+        return ChipkillCorrect(correctable_chips=2)
+    if name == "secded":
+        return SecDed()
+    if name == "none":
+        return NoEcc()
+    raise ValueError(f"unknown ECC scheme {name!r}")

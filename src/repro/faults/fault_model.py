@@ -1,0 +1,145 @@
+"""Device fault modes and their spatial extents.
+
+A fault lives in one chip (nRank faults replicate across the same chip
+position in every rank — shared-circuitry failures) and covers a
+rectangular extent of (banks x rows x block-column-groups).  The extent
+is kept at *block-group* granularity: a data block occupies
+``beats_per_block`` consecutive columns, so a fault at column ``c``
+affects block group ``c // beats_per_block``.  This is exactly the
+granularity at which ECC codewords are laid out, and therefore the
+granularity at which correctability is decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FAULT_CLASSES = ("bit", "word", "column", "row", "bank", "nbank", "nrank")
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A set product banks x rows x column groups; ``None`` = all."""
+
+    banks: frozenset = None
+    rows: frozenset = None
+    groups: frozenset = None
+
+    def intersect(self, other: "Extent") -> "Extent":
+        """Component-wise intersection; empty products become None via
+        the ``is_empty`` check."""
+        return Extent(
+            banks=_meet(self.banks, other.banks),
+            rows=_meet(self.rows, other.rows),
+            groups=_meet(self.groups, other.groups),
+        )
+
+    def is_empty(self) -> bool:
+        return (
+            (self.banks is not None and not self.banks)
+            or (self.rows is not None and not self.rows)
+            or (self.groups is not None and not self.groups)
+        )
+
+    def block_count(self, geometry) -> int:
+        """Number of data blocks (per rank) the extent covers."""
+        if self.is_empty():
+            return 0
+        banks = len(self.banks) if self.banks is not None else geometry.banks
+        rows = len(self.rows) if self.rows is not None else geometry.rows
+        groups = (
+            len(self.groups) if self.groups is not None else geometry.blocks_per_row
+        )
+        return banks * rows * groups
+
+    def blocks(self, geometry, rank: int, limit: int = None):
+        """Yield absolute block indices covered in ``rank``."""
+        if self.is_empty():
+            return
+        banks = sorted(self.banks) if self.banks is not None else range(geometry.banks)
+        rows = sorted(self.rows) if self.rows is not None else range(geometry.rows)
+        groups = (
+            sorted(self.groups)
+            if self.groups is not None
+            else range(geometry.blocks_per_row)
+        )
+        emitted = 0
+        base = rank * geometry.blocks_per_rank
+        per_bank = geometry.rows * geometry.blocks_per_row
+        for bank in banks:
+            for row in rows:
+                for group in groups:
+                    yield base + bank * per_bank + row * geometry.blocks_per_row + group
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+
+
+def _meet(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault instance: class, owning chip/rank, and extent."""
+
+    fault_class: str
+    chip: int
+    rank: int
+    extent: Extent
+    multibit: bool = False  # >1 bit per beat within the chip's slice
+
+    def __post_init__(self):
+        if self.fault_class not in FAULT_CLASSES:
+            raise ValueError(f"unknown fault class {self.fault_class!r}")
+
+
+def sample_fault(fault_class: str, geometry, rng, rank: int = None, chip: int = None):
+    """Draw random coordinates for one fault of the given class.
+
+    Returns a list of :class:`Fault` — nRank faults expand to one fault
+    per rank at the same chip position.
+    """
+    if rank is None:
+        rank = int(rng.integers(0, geometry.ranks))
+    chips = geometry.chip_ids_of_rank(rank)
+    if chip is None:
+        chip = int(rng.choice(chips))
+    bank = int(rng.integers(0, geometry.banks))
+    row = int(rng.integers(0, geometry.rows))
+    group = int(rng.integers(0, geometry.blocks_per_row))
+
+    if fault_class == "bit":
+        extent = Extent(frozenset([bank]), frozenset([row]), frozenset([group]))
+        return [Fault("bit", chip, rank, extent, multibit=False)]
+    if fault_class == "word":
+        extent = Extent(frozenset([bank]), frozenset([row]), frozenset([group]))
+        return [Fault("word", chip, rank, extent, multibit=True)]
+    if fault_class == "column":
+        extent = Extent(frozenset([bank]), None, frozenset([group]))
+        return [Fault("column", chip, rank, extent, multibit=True)]
+    if fault_class == "row":
+        extent = Extent(frozenset([bank]), frozenset([row]), None)
+        return [Fault("row", chip, rank, extent, multibit=True)]
+    if fault_class == "bank":
+        extent = Extent(frozenset([bank]), None, None)
+        return [Fault("bank", chip, rank, extent, multibit=True)]
+    if fault_class == "nbank":
+        count = int(rng.integers(2, geometry.banks + 1))
+        banks = frozenset(
+            int(b) for b in rng.choice(geometry.banks, size=count, replace=False)
+        )
+        extent = Extent(banks, None, None)
+        return [Fault("nbank", chip, rank, extent, multibit=True)]
+    if fault_class == "nrank":
+        # Rank-scale fault: the chip's entire address range fails (a
+        # chip serves one rank, so this is a whole-chip fault).  Each
+        # rank's Chipkill still corrects it in isolation; damage arises
+        # only when it overlaps another chip's fault in the same rank.
+        extent = Extent(None, None, None)
+        return [Fault("nrank", chip, rank, extent, multibit=True)]
+    raise ValueError(f"unknown fault class {fault_class!r}")

@@ -1,0 +1,18 @@
+"""Memory devices: NVM model, DIMM geometry, WPQ, physical address map."""
+
+from repro.memory.address_map import AddressMap, tree_level_sizes
+from repro.memory.geometry import DimmGeometry
+from repro.memory.nvm import NvmDevice
+from repro.memory.wear_leveling import StartGapRemapper, WearLevelingNvm
+from repro.memory.wpq import WpqFullError, WritePendingQueue
+
+__all__ = [
+    "AddressMap",
+    "DimmGeometry",
+    "NvmDevice",
+    "StartGapRemapper",
+    "WearLevelingNvm",
+    "WpqFullError",
+    "WritePendingQueue",
+    "tree_level_sizes",
+]

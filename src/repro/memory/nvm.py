@@ -1,0 +1,155 @@
+"""Byte-addressable non-volatile memory device model.
+
+The device is a sparse store of 64-byte blocks with PCM read/write
+latencies attached (Table 3: 150ns read, 300ns write).  It is the
+*persistent* half of the system: anything written here survives a
+simulated crash, anything only in volatile caches does not.
+
+For reliability experiments the device supports targeted corruption
+(bit flips and whole-block scrambles), modeling the uncorrectable
+errors that the fault simulator produces.
+"""
+
+from __future__ import annotations
+
+from repro.constants import CACHELINE_BYTES, PCM_READ_NS, PCM_WRITE_NS
+
+ZERO_BLOCK = bytes(CACHELINE_BYTES)
+
+
+class NvmDevice:
+    """A sparse block-granular NVM with fault-injection hooks."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        read_ns: float = PCM_READ_NS,
+        write_ns: float = PCM_WRITE_NS,
+        block_size: int = CACHELINE_BYTES,
+    ):
+        if capacity_bytes <= 0 or capacity_bytes % block_size != 0:
+            raise ValueError("capacity must be a positive multiple of block size")
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.read_ns = read_ns
+        self.write_ns = write_ns
+        self._blocks: dict[int, bytes] = {}
+        self._poisoned: set[int] = set()
+        self.read_count = 0
+        self.write_count = 0
+        self._write_counts: dict[int, int] = {}
+
+    @property
+    def num_blocks(self) -> int:
+        return self.capacity_bytes // self.block_size
+
+    def read_block(self, address: int) -> bytes:
+        """Read the 64-byte block at ``address`` (block-aligned)."""
+        self._check_address(address)
+        self.read_count += 1
+        return self._blocks.get(address, ZERO_BLOCK)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Persist one block.  Writing clears any poison at the address
+        (a fresh write re-programs the cells)."""
+        self._check_address(address)
+        if len(data) != self.block_size:
+            raise ValueError(
+                f"data must be {self.block_size} bytes, got {len(data)}"
+            )
+        self.write_count += 1
+        self._write_counts[address] = self._write_counts.get(address, 0) + 1
+        self._blocks[address] = bytes(data)
+        self._poisoned.discard(address)
+
+    # ---- fault-injection hooks (reliability experiments) ----
+
+    def flip_bits(self, address: int, bit_positions) -> None:
+        """Flip the given bit positions inside the block at ``address``."""
+        self._check_address(address)
+        block = bytearray(self._blocks.get(address, ZERO_BLOCK))
+        for bit in bit_positions:
+            if not 0 <= bit < self.block_size * 8:
+                raise ValueError(f"bit {bit} out of block range")
+            block[bit // 8] ^= 1 << (bit % 8)
+        self._blocks[address] = bytes(block)
+
+    def poison_block(self, address: int) -> None:
+        """Mark a block as carrying an uncorrectable error.
+
+        Reads still return the (possibly stale/garbled) contents, but
+        :meth:`is_poisoned` lets the ECC model report the uncorrectable
+        condition, mirroring hardware poisoning semantics.
+        """
+        self._check_address(address)
+        self._poisoned.add(address)
+
+    def is_poisoned(self, address: int) -> bool:
+        self._check_address(address)
+        return address in self._poisoned
+
+    def clear_poison(self, address: int) -> None:
+        self._check_address(address)
+        self._poisoned.discard(address)
+
+    @property
+    def poisoned_addresses(self):
+        return frozenset(self._poisoned)
+
+    def erase_block(self, address: int) -> None:
+        """Return a block to the factory-fresh (untouched, zero) state.
+
+        Used by whole-memory re-keying: erasing the metadata regions
+        re-arms the untouched-is-implicitly-valid convention under the
+        new keys (cf. Silent Shredder's zero-cost shredding).
+        """
+        self._check_address(address)
+        self._blocks.pop(address, None)
+        self._poisoned.discard(address)
+
+    def is_touched(self, address: int) -> bool:
+        """True if the block was ever written (or had faults injected).
+
+        Untouched blocks are in the factory-fresh all-zeros state, which
+        the secure controller treats as implicitly valid (cold memory).
+        """
+        self._check_address(address)
+        return address in self._blocks
+
+    def touched_addresses(self):
+        """Addresses that have ever been written (sorted)."""
+        return sorted(self._blocks)
+
+    # ---- endurance accounting (wear-leveling studies) ----
+
+    def write_count_of(self, address: int) -> int:
+        """Writes ever issued to the block at ``address``."""
+        self._check_address(address)
+        return self._write_counts.get(address, 0)
+
+    def wear_stats(self) -> dict:
+        """Endurance summary: max/mean per-written-block write counts
+        and the uniformity ratio (mean/max; 1.0 = perfectly level)."""
+        if not self._write_counts:
+            return {"max": 0, "mean": 0.0, "written_blocks": 0, "uniformity": 1.0}
+        counts = self._write_counts.values()
+        peak = max(counts)
+        mean = sum(counts) / len(self._write_counts)
+        return {
+            "max": peak,
+            "mean": mean,
+            "written_blocks": len(self._write_counts),
+            "uniformity": mean / peak if peak else 1.0,
+        }
+
+    def reset_counters(self) -> None:
+        self.read_count = 0
+        self.write_count = 0
+
+    def _check_address(self, address: int) -> None:
+        if address % self.block_size != 0:
+            raise ValueError(f"address {address:#x} not block-aligned")
+        if not 0 <= address < self.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} outside capacity {self.capacity_bytes:#x}"
+            )

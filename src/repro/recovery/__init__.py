@@ -1,0 +1,6 @@
+"""Crash recovery: Anubis shadow replay (ToC) and Osiris regeneration (BMT)."""
+
+from repro.recovery.anubis import RecoveryManager, RecoveryReport
+from repro.recovery.osiris import OsirisRecovery, OsirisReport
+
+__all__ = ["OsirisRecovery", "OsirisReport", "RecoveryManager", "RecoveryReport"]

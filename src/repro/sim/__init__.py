@@ -1,0 +1,7 @@
+"""Trace-driven timing simulation of the secure system."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult
+from repro.sim.system import SecureSystem, run_schemes
+
+__all__ = ["SecureSystem", "SimResult", "SystemConfig", "run_schemes"]

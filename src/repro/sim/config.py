@@ -1,0 +1,79 @@
+"""Simulated-system configuration (Table 3).
+
+``SystemConfig.table3()`` reproduces the paper's machine; functional
+and benchmark runs mostly use ``SystemConfig.scaled()``, which shrinks
+memory and caches together so that cache-pressure behavior (miss rates,
+metadata-cache eviction mix) stays representative while pure-Python
+simulation remains fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import LevelConfig
+from repro.constants import CPU_CLOCK_GHZ, PCM_READ_NS, PCM_WRITE_NS
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a simulated secure system."""
+
+    name: str = "table3"
+    cpu_ghz: float = CPU_CLOCK_GHZ
+    cache_levels: tuple = (
+        LevelConfig("L1", 32 * KB, 2, 2),
+        LevelConfig("L2", 512 * KB, 8, 20),
+        LevelConfig("LLC", 8 * MB, 64, 32),
+    )
+    memory_bytes: int = 16 * GB
+    pcm_read_ns: float = PCM_READ_NS
+    pcm_write_ns: float = PCM_WRITE_NS
+    metadata_cache_bytes: int = 512 * KB
+    metadata_ways: int = 8
+    wpq_entries: int = 8
+    osiris_limit: int = 4
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0 or self.memory_bytes % 64 != 0:
+            raise ValueError("memory_bytes must be a positive multiple of 64")
+        if self.cpu_ghz <= 0:
+            raise ValueError("cpu_ghz must be positive")
+
+    @classmethod
+    def table3(cls) -> "SystemConfig":
+        return cls()
+
+    @classmethod
+    def scaled(cls, memory_mb: int = 64) -> "SystemConfig":
+        """A proportionally shrunken system for fast simulation.
+
+        Memory shrinks from 16GB to ``memory_mb``; the CPU caches and
+        the metadata cache shrink by a similar factor so that miss
+        rates and eviction behavior stay in the regime of the full
+        machine.
+        """
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        return cls(
+            name=f"scaled-{memory_mb}mb",
+            cache_levels=(
+                LevelConfig("L1", 4 * KB, 2, 2),
+                LevelConfig("L2", 32 * KB, 8, 20),
+                LevelConfig("LLC", 256 * KB, 16, 32),
+            ),
+            memory_bytes=memory_mb * MB,
+            metadata_cache_bytes=64 * KB,
+            metadata_ways=8,
+        )
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.cpu_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.cpu_ghz

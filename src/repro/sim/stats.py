@@ -1,0 +1,45 @@
+"""Simulation results and derived metrics for the performance figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimResult:
+    """Outcome of running one trace on one secure system."""
+
+    workload: str
+    scheme: str
+    instructions: int
+    memory_requests: int
+    cpu_cycles: float            # front-end + cache + read-stall cycles
+    channel_busy_ns: float       # NVM channel occupancy (reads + writes)
+    exec_time_ns: float          # max(cpu path, channel occupancy)
+    nvm_reads: int
+    nvm_writes: int
+    writes_by_kind: dict = field(default_factory=dict)
+    reads_by_kind: dict = field(default_factory=dict)
+    evictions_by_level: dict = field(default_factory=dict)
+    metadata_miss_rate: float = 0.0
+
+    @property
+    def evictions_per_request(self) -> float:
+        tree = sum(v for k, v in self.evictions_by_level.items() if k >= 1)
+        return tree / self.memory_requests if self.memory_requests else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cpu_cycles if self.cpu_cycles else 0.0
+
+    def slowdown_vs(self, baseline: "SimResult") -> float:
+        """Execution-time overhead relative to a baseline run (Fig 10a)."""
+        if baseline.exec_time_ns == 0:
+            return 0.0
+        return self.exec_time_ns / baseline.exec_time_ns - 1.0
+
+    def write_overhead_vs(self, baseline: "SimResult") -> float:
+        """Extra NVM writes relative to a baseline run (Fig 10b)."""
+        if baseline.nvm_writes == 0:
+            return 0.0
+        return self.nvm_writes / baseline.nvm_writes - 1.0

@@ -1,0 +1,152 @@
+"""The simulated secure system: CPU caches + secure memory controller.
+
+The timing model is trace-driven.  Each memory reference runs through
+the L1/L2/LLC hierarchy; only LLC misses and dirty LLC writebacks reach
+the secure memory controller, which performs the *functional* secure
+datapath (counter fetch chains, verification, lazy updates, cloning)
+and reports its traffic.  Timing is charged as:
+
+* CPU path — one cycle per non-memory instruction, plus cache hit
+  latencies, plus PCM read latency for every *blocking* NVM read (the
+  metadata fetch chain serializes: parent must be verified before the
+  child's MAC can be checked);
+* NVM channel — every read and posted write occupies the channel for
+  its device latency; writes drain in the background but still consume
+  bandwidth.
+
+Execution time is ``max(cpu path, channel occupancy)`` — the classic
+latency/bandwidth bound.  This reproduces the paper's *relative*
+overheads: extra clone/shadow writes surface as channel pressure, extra
+metadata misses as read stalls.
+"""
+
+from __future__ import annotations
+
+from repro.cache import CacheHierarchy
+from repro.controller import SecureMemoryController
+from repro.core import make_controller
+from repro.sim.config import SystemConfig
+from repro.sim.stats import SimResult
+
+
+class SecureSystem:
+    """One CPU + cache hierarchy + secure NVM memory controller."""
+
+    def __init__(
+        self,
+        scheme: str = "baseline",
+        config: SystemConfig = None,
+        functional_crypto: bool = False,
+        rng=None,
+        controller: SecureMemoryController = None,
+    ):
+        self.config = config or SystemConfig.scaled()
+        self.scheme = scheme
+        self.hierarchy = CacheHierarchy(levels=self.config.cache_levels)
+        if controller is None:
+            controller = make_controller(
+                scheme,
+                self.config.memory_bytes,
+                metadata_cache_bytes=self.config.metadata_cache_bytes,
+                metadata_ways=self.config.metadata_ways,
+                wpq_entries=self.config.wpq_entries,
+                osiris_limit=self.config.osiris_limit,
+                functional_crypto=functional_crypto,
+                rng=rng,
+            )
+        self.controller = controller
+
+    def run(self, workload, warmup_refs: int = 0) -> SimResult:
+        """Run one workload's reference stream to completion.
+
+        ``warmup_refs`` replicates the paper's methodology ("we create
+        [a] checkpoint [for] each application after [the]
+        initialization phase and simulate 500M instructions
+        afterwards"): the first N references warm the caches and
+        metadata state, then every statistic resets before measurement.
+        """
+        config = self.config
+        controller = self.controller
+        num_blocks = controller.num_data_blocks
+        data_bytes = num_blocks * 64
+
+        instructions = 0
+        memory_requests = 0
+        cpu_cycles = 0.0
+        channel_ns = 0.0
+        read_latency_cycles = config.ns_to_cycles(config.pcm_read_ns)
+
+        zero = bytes(64)
+        remaining_warmup = warmup_refs
+        for address, is_write, gap in workload.references():
+            if remaining_warmup > 0:
+                remaining_warmup -= 1
+                address %= data_bytes
+                result = self.hierarchy.access(address, is_write)
+                if result.memory_read:
+                    controller.read(address // 64)
+                for victim in result.writebacks:
+                    controller.write(victim // 64, zero)
+                if remaining_warmup == 0:
+                    # Checkpoint: measurement starts from warmed state.
+                    from repro.controller.stats import ControllerStats
+
+                    controller.stats = ControllerStats()
+                    controller.nvm.reset_counters()
+                continue
+            address %= data_bytes
+            instructions += gap + 1
+            cpu_cycles += gap  # 1 cycle per non-memory instruction
+            memory_requests += 1
+
+            result = self.hierarchy.access(address, is_write)
+            cpu_cycles += result.latency_cycles
+
+            blocking_reads = 0
+            posted_writes = 0
+            if result.memory_read:
+                read = controller.read(address // 64)
+                blocking_reads += read.cost.blocking_reads
+                posted_writes += read.cost.posted_writes
+            for victim in result.writebacks:
+                cost = controller.write(victim // 64, zero)
+                blocking_reads += cost.blocking_reads
+                posted_writes += cost.posted_writes
+
+            cpu_cycles += blocking_reads * read_latency_cycles
+            channel_ns += (
+                blocking_reads * config.pcm_read_ns
+                + posted_writes * config.pcm_write_ns
+            )
+
+        stats = controller.stats
+        cpu_ns = cpu_cycles * config.cycle_ns
+        return SimResult(
+            workload=workload.name,
+            scheme=self.scheme,
+            instructions=instructions,
+            memory_requests=memory_requests,
+            cpu_cycles=cpu_cycles,
+            channel_busy_ns=channel_ns,
+            exec_time_ns=max(cpu_ns, channel_ns),
+            nvm_reads=stats.total_nvm_reads,
+            nvm_writes=stats.total_nvm_writes,
+            writes_by_kind=dict(stats.nvm_writes_by_kind),
+            reads_by_kind=dict(stats.nvm_reads_by_kind),
+            evictions_by_level=dict(stats.evictions_by_level),
+            metadata_miss_rate=controller.metadata_cache.stats.miss_rate,
+        )
+
+
+def run_schemes(workload_factory, schemes=("baseline", "src", "sac"),
+                config: SystemConfig = None, seed: int = 0) -> dict:
+    """Run one workload on several schemes with identical traces.
+
+    ``workload_factory()`` must return a fresh workload each call so
+    every scheme sees the same reference stream.
+    """
+    results = {}
+    for scheme in schemes:
+        system = SecureSystem(scheme=scheme, config=config)
+        results[scheme] = system.run(workload_factory())
+    return results

@@ -1,0 +1,13 @@
+"""Integrity trees: ToC authentication and Bonsai Merkle tree."""
+
+from repro.tree.bmt import BonsaiMerkleTree
+from repro.tree.bmt_node import ZERO_DIGEST, BmtAuthenticator, BmtNode
+from repro.tree.toc import TocAuthenticator
+
+__all__ = [
+    "BmtAuthenticator",
+    "BmtNode",
+    "BonsaiMerkleTree",
+    "TocAuthenticator",
+    "ZERO_DIGEST",
+]

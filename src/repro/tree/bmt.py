@@ -1,0 +1,141 @@
+"""Bonsai-style Merkle tree (hash tree) over a block array.
+
+Intermediate nodes hold the 64-bit hashes of their children, so — in
+contrast to the ToC — any node is recomputable from the leaves.  The
+paper uses an *eagerly updated* small BMT to protect the Anubis shadow
+table: every shadow-entry write refreshes the path to the root, keeping
+the on-chip root always current so recovery can verify the shadow table
+after a crash even though the main ToC root may be stale.
+"""
+
+from __future__ import annotations
+
+from repro.constants import CACHELINE_BYTES, MAC_BYTES, TOC_ARITY
+from repro.crypto import MacEngine
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class BonsaiMerkleTree:
+    """Eagerly-updated in-memory hash tree over ``num_leaves`` blocks.
+
+    The tree stores only hashes (8 bytes per child, 8 children per
+    64-byte node); leaf *contents* live wherever the caller keeps them
+    (NVM shadow region, a list, ...).  ``update_leaf``/``verify_leaf``
+    take the leaf bytes explicitly.
+    """
+
+    ARITY = TOC_ARITY
+
+    def __init__(self, num_leaves: int, mac_engine: MacEngine):
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        self._mac = mac_engine
+        self.num_leaves = num_leaves
+        # level_sizes[0] = hashes-of-leaves nodes, upward to a single top.
+        self.level_sizes = [_ceil_div(num_leaves, self.ARITY)]
+        while self.level_sizes[-1] > 1:
+            self.level_sizes.append(_ceil_div(self.level_sizes[-1], self.ARITY))
+        # levels[l][i] = bytearray(64) of packed child hashes.
+        self._levels = [
+            [bytearray(CACHELINE_BYTES) for _ in range(size)]
+            for size in self.level_sizes
+        ]
+        self._root = self._hash_node(len(self.level_sizes) - 1, 0)
+
+    @property
+    def num_levels(self) -> int:
+        """Hash levels above the leaves (root included)."""
+        return len(self.level_sizes)
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root hash (always current — eager updates)."""
+        return self._root
+
+    def leaf_hash(self, index: int, leaf_bytes: bytes) -> bytes:
+        return self._mac.compute(
+            b"bmt-leaf", index.to_bytes(8, "little"), leaf_bytes
+        )
+
+    def _hash_node(self, level: int, index: int) -> bytes:
+        return self._mac.compute(
+            b"bmt-node",
+            level.to_bytes(2, "little"),
+            index.to_bytes(8, "little"),
+            bytes(self._levels[level][index]),
+        )
+
+    def _set_hash(self, level: int, parent_index: int, slot: int, digest: bytes) -> None:
+        node = self._levels[level][parent_index]
+        node[slot * MAC_BYTES:(slot + 1) * MAC_BYTES] = digest
+
+    def _get_hash(self, level: int, parent_index: int, slot: int) -> bytes:
+        node = self._levels[level][parent_index]
+        return bytes(node[slot * MAC_BYTES:(slot + 1) * MAC_BYTES])
+
+    def update_leaf(self, index: int, leaf_bytes: bytes) -> None:
+        """Eager update: refresh every hash from the leaf to the root."""
+        self._check_leaf(index)
+        digest = self.leaf_hash(index, leaf_bytes)
+        child_index = index
+        for level in range(len(self.level_sizes)):
+            parent_index, slot = divmod(child_index, self.ARITY)
+            self._set_hash(level, parent_index, slot, digest)
+            digest = self._hash_node(level, parent_index)
+            child_index = parent_index
+        self._root = digest
+
+    def verify_leaf(self, index: int, leaf_bytes: bytes) -> bool:
+        """Check a leaf against the stored hash path up to the root."""
+        self._check_leaf(index)
+        digest = self.leaf_hash(index, leaf_bytes)
+        child_index = index
+        for level in range(len(self.level_sizes)):
+            parent_index, slot = divmod(child_index, self.ARITY)
+            if self._get_hash(level, parent_index, slot) != digest:
+                return False
+            digest = self._hash_node(level, parent_index)
+            child_index = parent_index
+        return digest == self._root
+
+    def rebuild_from_leaves(self, leaves) -> None:
+        """Recompute the whole tree from a full list of leaf contents.
+
+        This is the BMT's defining capability (regeneration from
+        children) used by Osiris-style recovery.
+        """
+        leaves = list(leaves)
+        if len(leaves) != self.num_leaves:
+            raise ValueError(
+                f"expected {self.num_leaves} leaves, got {len(leaves)}"
+            )
+        for level_nodes in self._levels:
+            for node in level_nodes:
+                node[:] = bytes(CACHELINE_BYTES)
+        for index, leaf_bytes in enumerate(leaves):
+            digest = self.leaf_hash(index, leaf_bytes)
+            parent_index, slot = divmod(index, self.ARITY)
+            self._set_hash(0, parent_index, slot, digest)
+        for level in range(1, len(self.level_sizes)):
+            for child_index in range(self.level_sizes[level - 1]):
+                digest = self._hash_node(level - 1, child_index)
+                parent_index, slot = divmod(child_index, self.ARITY)
+                self._set_hash(level, parent_index, slot, digest)
+        self._root = self._hash_node(len(self.level_sizes) - 1, 0)
+
+    def node_bytes(self, level: int, index: int) -> bytes:
+        """Raw contents of an internal node (for fault injection)."""
+        return bytes(self._levels[level][index])
+
+    def corrupt_node(self, level: int, index: int, new_bytes: bytes) -> None:
+        """Overwrite an internal node — models an in-memory tree error."""
+        if len(new_bytes) != CACHELINE_BYTES:
+            raise ValueError("node must be 64 bytes")
+        self._levels[level][index][:] = new_bytes
+
+    def _check_leaf(self, index: int) -> None:
+        if not 0 <= index < self.num_leaves:
+            raise IndexError(f"leaf {index} out of range [0, {self.num_leaves})")

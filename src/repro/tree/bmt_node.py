@@ -1,0 +1,101 @@
+"""Bonsai-Merkle-tree node blocks for the BMT integrity mode.
+
+A BMT intermediate node is simply eight 64-bit digests — one per child
+— packed into a 64-byte line.  Unlike a :class:`~repro.counters.TocNode`
+it carries no counters and no embedded MAC: a child verifies by hashing
+its bytes and comparing with the parent's slot, and a damaged node can
+be *recomputed* from its children.  That recomputability is the paper's
+key contrast with the ToC (Section 2.5): BMT errors are repairable
+without clones, ToC errors are not.
+"""
+
+from __future__ import annotations
+
+from repro.constants import CACHELINE_BYTES, MAC_BYTES, TOC_ARITY
+
+ZERO_DIGEST = b"\x00" * MAC_BYTES
+
+
+class BmtNode:
+    """Eight child digests in one 64-byte block."""
+
+    ARITY = TOC_ARITY
+
+    def __init__(self, digests=None):
+        if digests is None:
+            digests = [ZERO_DIGEST] * self.ARITY
+        digests = [bytes(d) for d in digests]
+        if len(digests) != self.ARITY:
+            raise ValueError(f"expected {self.ARITY} digests")
+        for digest in digests:
+            if len(digest) != MAC_BYTES:
+                raise ValueError(f"digest must be {MAC_BYTES} bytes")
+        self.digests = digests
+
+    def digest(self, slot: int) -> bytes:
+        self._check_slot(slot)
+        return self.digests[slot]
+
+    def set_digest(self, slot: int, digest: bytes) -> None:
+        self._check_slot(slot)
+        if len(digest) != MAC_BYTES:
+            raise ValueError(f"digest must be {MAC_BYTES} bytes")
+        self.digests[slot] = bytes(digest)
+
+    def to_bytes(self) -> bytes:
+        return b"".join(self.digests)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BmtNode":
+        if len(raw) != CACHELINE_BYTES:
+            raise ValueError(f"expected {CACHELINE_BYTES} bytes, got {len(raw)}")
+        return cls(
+            digests=[
+                raw[i * MAC_BYTES:(i + 1) * MAC_BYTES] for i in range(cls.ARITY)
+            ]
+        )
+
+    def copy(self) -> "BmtNode":
+        return BmtNode(digests=list(self.digests))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BmtNode):
+            return NotImplemented
+        return self.digests == other.digests
+
+    def __repr__(self) -> str:
+        live = sum(1 for d in self.digests if d != ZERO_DIGEST)
+        return f"BmtNode(live_slots={live})"
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.ARITY:
+            raise IndexError(f"slot {slot} out of range [0, {self.ARITY})")
+
+
+class BmtAuthenticator:
+    """Position-bound keyed digests for BMT verification.
+
+    Digests are keyed (HMAC-derived) so an off-chip attacker cannot
+    forge a matching child, and bound to (level, index) so a valid
+    block cannot be relocated elsewhere in the tree.
+    """
+
+    def __init__(self, mac_engine):
+        self._mac = mac_engine
+
+    def block_digest(self, level: int, index: int, block_bytes: bytes) -> bytes:
+        """Digest of a child block as recorded in its parent's slot.
+
+        ``level`` is the *child's* level (1 = counter blocks).
+        """
+        return self._mac.compute(
+            b"bmt-auth",
+            level.to_bytes(2, "little"),
+            index.to_bytes(8, "little"),
+            block_bytes,
+        )
+
+    def verify_block(
+        self, level: int, index: int, block_bytes: bytes, expected: bytes
+    ) -> bool:
+        return self.block_digest(level, index, block_bytes) == expected

@@ -1,0 +1,80 @@
+"""Tree-of-Counters authentication logic (SGX MEE style, Figure 2).
+
+The ToC binds every metadata node to its parent through counters: node
+``(level, index)`` carries a MAC computed over
+
+* the node's own counter payload,
+* the *parent's* counter for this node (the replay freshness source),
+* the node's position ``(level, index)`` (prevents relocation).
+
+Because the MAC depends on the parent counter — not on the child
+contents — the tree supports parallel updates, but it is **not**
+recomputable from the leaves: losing an intermediate node to an
+uncorrectable error is unrecoverable in the baseline.  That asymmetry
+versus the BMT is exactly what motivates Soteria's clones.
+
+This module is pure authentication arithmetic; storage and caching are
+owned by the memory controller.
+"""
+
+from __future__ import annotations
+
+from repro.counters import SplitCounterBlock, TocNode
+from repro.crypto import MacEngine
+
+
+class TocAuthenticator:
+    """Computes, seals, and verifies ToC node MACs.
+
+    Levels follow the paper's numbering: level 1 is the split-counter
+    leaf level (MACs stored in the sidecar region), levels 2+ are
+    8-ary :class:`TocNode` intermediate levels, and the root is a
+    :class:`TocNode` kept on-chip (its counters need no MAC — the chip
+    is trusted).
+    """
+
+    def __init__(self, mac_engine: MacEngine):
+        self._mac = mac_engine
+
+    # ---- intermediate nodes (level >= 2) ----
+
+    def node_mac(self, level: int, index: int, node: TocNode, parent_counter: int) -> bytes:
+        """The MAC an intact node must carry."""
+        return self._mac.compute(
+            b"toc-node",
+            level.to_bytes(2, "little"),
+            index.to_bytes(8, "little"),
+            node.counters_bytes(),
+            parent_counter.to_bytes(8, "little"),
+        )
+
+    def seal_node(self, level: int, index: int, node: TocNode, parent_counter: int) -> None:
+        """Stamp the node's MAC after a counter update."""
+        node.mac = self.node_mac(level, index, node, parent_counter)
+
+    def verify_node(self, level: int, index: int, node: TocNode, parent_counter: int) -> bool:
+        """True iff the node's embedded MAC matches its contents and
+        the parent counter — i.e., it is intact *and* fresh."""
+        return node.mac == self.node_mac(level, index, node, parent_counter)
+
+    # ---- leaf counter blocks (level 1) ----
+
+    def counter_block_mac(
+        self, index: int, block: SplitCounterBlock, parent_counter: int
+    ) -> bytes:
+        """MAC of a split-counter block (stored in the sidecar region)."""
+        return self._mac.compute(
+            b"toc-leaf",
+            index.to_bytes(8, "little"),
+            block.to_bytes(),
+            parent_counter.to_bytes(8, "little"),
+        )
+
+    def verify_counter_block(
+        self,
+        index: int,
+        block: SplitCounterBlock,
+        stored_mac: bytes,
+        parent_counter: int,
+    ) -> bool:
+        return stored_mac == self.counter_block_mac(index, block, parent_counter)

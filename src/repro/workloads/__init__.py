@@ -1,0 +1,62 @@
+"""Workload generators: uBENCH, WHISPER-like, PMEMKV-like, SPEC-like."""
+
+from repro.workloads.base import Workload, zipf_addresses
+from repro.workloads.trace import Trace, TraceStats, interleave
+from repro.workloads.pmemkv import pmemkv
+from repro.workloads.spec import gcc, lbm, libquantum, mcf, milc
+from repro.workloads.ubench import ubench
+from repro.workloads.whisper import ctree, echo, hashmap, redo_log, tpcc
+from repro.workloads.ycsb import ycsb, ycsb_a, ycsb_b, ycsb_c
+
+
+def standard_suite(footprint_bytes: int = 16 << 20, num_refs: int = 20_000):
+    """The paper's evaluation mix: persistent kernels, key-value,
+    microbenchmarks, and SPEC-like applications (Figure 10's x-axis).
+
+    Returns a list of zero-argument factories so each consumer gets a
+    fresh, identical reference stream.
+    """
+    specs = [
+        lambda: ctree(footprint_bytes, num_refs),
+        lambda: hashmap(footprint_bytes, num_refs),
+        lambda: redo_log(footprint_bytes, num_refs),
+        lambda: tpcc(footprint_bytes, num_refs),
+        lambda: echo(footprint_bytes, num_refs),
+        lambda: pmemkv(0.9, footprint_bytes, num_refs),
+        lambda: pmemkv(0.1, footprint_bytes, num_refs),
+        lambda: ubench(16, footprint_bytes, num_refs),
+        lambda: ubench(64, footprint_bytes, num_refs),
+        lambda: ubench(128, footprint_bytes, num_refs),
+        lambda: mcf(footprint_bytes, num_refs),
+        lambda: lbm(footprint_bytes, num_refs),
+        lambda: libquantum(footprint_bytes, num_refs),
+        lambda: gcc(footprint_bytes, num_refs),
+        lambda: milc(footprint_bytes, num_refs),
+    ]
+    return specs
+
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "Workload",
+    "interleave",
+    "ctree",
+    "echo",
+    "gcc",
+    "hashmap",
+    "lbm",
+    "libquantum",
+    "mcf",
+    "milc",
+    "pmemkv",
+    "redo_log",
+    "standard_suite",
+    "tpcc",
+    "ubench",
+    "ycsb",
+    "ycsb_a",
+    "ycsb_b",
+    "ycsb_c",
+    "zipf_addresses",
+]

@@ -1,0 +1,65 @@
+"""PMEMKV-style key-value store workloads.
+
+Intel's pmemkv serves puts/gets against a persistent index (cmap/stree)
+plus out-of-line values.  Each operation is an index descent (a couple
+of pointer-dependent reads over a Zipf-popular key space) followed by a
+value access; puts add an index update.  ``pmemkv_put`` and
+``pmemkv_get`` bound the write-intensity range of the engine.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, zipf_addresses
+
+BLOCK = 64
+
+
+def _pmemkv_generator(put_fraction: float, index_levels: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        index_blocks = max(1, blocks // 8)   # index in the first 1/8th
+        value_base = index_blocks
+        value_blocks = blocks - value_base
+        emitted = 0
+        keys = zipf_addresses(rng, value_blocks, num_refs)
+        decisions = rng.random(size=num_refs)
+        i = 0
+        while emitted < num_refs:
+            key = int(keys[i % len(keys)])
+            is_put = decisions[i % len(decisions)] < put_fraction
+            i += 1
+            node = key
+            for level in range(index_levels):
+                address = ((node * 40503 + level) % index_blocks) * BLOCK
+                yield address, False, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+                node = node * 31 + 17
+            value_address = (value_base + key) * BLOCK
+            if is_put:
+                yield value_address, True, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+                # Index leaf update for the new version pointer.
+                yield ((key * 40503) % index_blocks) * BLOCK, True, gap
+                emitted += 1
+            else:
+                yield value_address, False, gap
+                emitted += 1
+    return generate
+
+
+def pmemkv(put_fraction: float, footprint_bytes: int = 16 << 20,
+           num_refs: int = 20_000, index_levels: int = 2,
+           gap: int = 10) -> Workload:
+    if not 0 <= put_fraction <= 1:
+        raise ValueError("put_fraction must be in [0, 1]")
+    suffix = "put" if put_fraction >= 0.5 else "get"
+    return Workload(
+        name=f"pmemkv_{suffix}",
+        generator=_pmemkv_generator(put_fraction, index_levels, gap),
+        footprint_bytes=footprint_bytes,
+        num_refs=num_refs,
+    )

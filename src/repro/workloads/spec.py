@@ -1,0 +1,117 @@
+"""SPEC CPU 2006-like non-persistent workloads.
+
+Synthetic analogues of the suite's memory-behavior archetypes (the
+paper uses SPEC to represent "typical non-persistent memory
+applications" — the controller protects them identically):
+
+* ``mcf``        — 429.mcf: pointer chasing over a huge network, very
+  low locality, strongly read-dominated;
+* ``lbm``        — 470.lbm: lattice-Boltzmann streaming, paired
+  read+write sweeps with heavy writeback traffic;
+* ``libquantum`` — 462.libquantum: long sequential read streams over a
+  large vector with rare updates;
+* ``gcc``        — 403.gcc: moderate-locality mixed reads/writes over a
+  Zipf working set with a lower memory intensity;
+* ``milc``       — 433.milc: regular strided sweeps with periodic
+  write phases.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, zipf_addresses
+
+BLOCK = 64
+
+
+def _mcf_generator(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        node = 1
+        writes = rng.random(size=num_refs)
+        for i in range(num_refs):
+            # LCG-style pointer chase: effectively random block hops.
+            node = (node * 6364136223846793005 + 1442695040888963407) % blocks
+            yield node * BLOCK, bool(writes[i] < 0.05), gap
+    return generate
+
+
+def _lbm_generator(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        half = blocks // 2
+        i = 0
+        emitted = 0
+        while emitted < num_refs:
+            src = (i % half) * BLOCK
+            dst = (half + i % half) * BLOCK
+            yield src, False, gap
+            emitted += 1
+            if emitted >= num_refs:
+                return
+            yield dst, True, gap
+            emitted += 1
+            i += 1
+    return generate
+
+
+def _libquantum_generator(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        writes = rng.random(size=num_refs)
+        for i in range(num_refs):
+            yield (i % blocks) * BLOCK, bool(writes[i] < 0.02), gap
+    return generate
+
+
+def _gcc_generator(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        working_set = max(1, blocks // 16)
+        addresses = zipf_addresses(rng, working_set, num_refs)
+        writes = rng.random(size=num_refs)
+        for i in range(num_refs):
+            yield int(addresses[i]) * BLOCK, bool(writes[i] < 0.3), gap
+    return generate
+
+
+def _milc_generator(stride_blocks: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        i = 0
+        emitted = 0
+        while emitted < num_refs:
+            address = ((i * stride_blocks) % blocks) * BLOCK
+            # Read phase dominated, with a write every fourth access.
+            yield address, i % 4 == 3, gap
+            emitted += 1
+            i += 1
+    return generate
+
+
+def mcf(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
+        gap: int = 6) -> Workload:
+    return Workload("mcf", _mcf_generator(gap), footprint_bytes, num_refs)
+
+
+def lbm(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
+        gap: int = 5) -> Workload:
+    return Workload("lbm", _lbm_generator(gap), footprint_bytes, num_refs)
+
+
+def libquantum(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
+               gap: int = 4) -> Workload:
+    return Workload(
+        "libquantum", _libquantum_generator(gap), footprint_bytes, num_refs
+    )
+
+
+def gcc(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
+        gap: int = 40) -> Workload:
+    return Workload("gcc", _gcc_generator(gap), footprint_bytes, num_refs)
+
+
+def milc(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
+         stride_blocks: int = 5, gap: int = 8) -> Workload:
+    return Workload(
+        "milc", _milc_generator(stride_blocks, gap), footprint_bytes, num_refs
+    )

@@ -1,0 +1,164 @@
+"""Trace capture, persistence, statistics, and mixing.
+
+Generators are convenient, but real methodology work needs traces as
+*artifacts*: save a reference stream to disk, characterize it (what
+makes ctree evict more than gcc?), interleave streams to model
+multi-programmed cores, and replay the identical trace against every
+scheme.  The text format is one reference per line::
+
+    <address> <R|W> <gap>
+
+with ``#`` comments, so traces diff cleanly and can be hand-edited.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.workloads.base import Workload
+
+
+@dataclass
+class TraceStats:
+    """Characterization of one reference stream."""
+
+    references: int
+    writes: int
+    unique_blocks: int
+    footprint_bytes: int
+    mean_gap: float
+    top_block_share: float        # fraction of refs to the hottest block
+    sequential_fraction: float    # refs whose block follows the previous
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.references if self.references else 0.0
+
+
+class Trace:
+    """A materialized reference stream with workload semantics."""
+
+    def __init__(self, name: str, references):
+        self.name = name
+        self.references = [
+            (int(a), bool(w), int(g)) for a, w, g in references
+        ]
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "Trace":
+        return cls(workload.name, workload.references())
+
+    def __len__(self) -> int:
+        return len(self.references)
+
+    def __iter__(self):
+        return iter(self.references)
+
+    def as_workload(self, footprint_bytes: int = None) -> Workload:
+        """Wrap back into a Workload for the simulator."""
+        if footprint_bytes is None:
+            footprint_bytes = max(
+                (a for a, _, _ in self.references), default=0
+            ) + 64
+        refs = self.references
+
+        def generate(rng, footprint, num_refs):
+            return iter(refs[:num_refs])
+
+        return Workload(
+            name=self.name,
+            generator=generate,
+            footprint_bytes=footprint_bytes,
+            num_refs=len(refs),
+        )
+
+    # ---- persistence ----
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(f"# trace: {self.name}\n")
+            handle.write(f"# references: {len(self.references)}\n")
+            for address, is_write, gap in self.references:
+                kind = "W" if is_write else "R"
+                handle.write(f"{address} {kind} {gap}\n")
+
+    @classmethod
+    def load(cls, path, name: str = None) -> "Trace":
+        references = []
+        trace_name = name
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if trace_name is None and line.startswith("# trace:"):
+                        trace_name = line.split(":", 1)[1].strip()
+                    continue
+                parts = line.split()
+                if len(parts) != 3 or parts[1] not in ("R", "W"):
+                    raise ValueError(f"malformed trace line: {line!r}")
+                references.append(
+                    (int(parts[0]), parts[1] == "W", int(parts[2]))
+                )
+        return cls(trace_name or "trace", references)
+
+    # ---- characterization ----
+
+    def stats(self) -> TraceStats:
+        if not self.references:
+            return TraceStats(0, 0, 0, 0, 0.0, 0.0, 0.0)
+        blocks = Counter()
+        writes = 0
+        gap_total = 0
+        sequential = 0
+        previous_block = None
+        for address, is_write, gap in self.references:
+            block = address // 64
+            blocks[block] += 1
+            writes += is_write
+            gap_total += gap
+            if previous_block is not None and block in (
+                previous_block, previous_block + 1
+            ):
+                sequential += 1
+            previous_block = block
+        hottest = blocks.most_common(1)[0][1]
+        return TraceStats(
+            references=len(self.references),
+            writes=writes,
+            unique_blocks=len(blocks),
+            footprint_bytes=len(blocks) * 64,
+            mean_gap=gap_total / len(self.references),
+            top_block_share=hottest / len(self.references),
+            sequential_fraction=sequential / len(self.references),
+        )
+
+
+def interleave(traces, name: str = "mix", chunk: int = 1) -> Trace:
+    """Round-robin interleave several traces (multi-programmed mix).
+
+    ``chunk`` references are taken from each trace in turn until all
+    are exhausted — the standard way to build heterogeneous-pressure
+    mixes from single-threaded traces.
+    """
+    if not traces:
+        raise ValueError("at least one trace required")
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    iterators = [iter(t.references) for t in traces]
+    merged = []
+    live = list(range(len(iterators)))
+    while live:
+        still_live = []
+        for index in live:
+            taken = 0
+            for reference in iterators[index]:
+                merged.append(reference)
+                taken += 1
+                if taken >= chunk:
+                    still_live.append(index)
+                    break
+        live = still_live
+    return Trace(name, merged)

@@ -1,0 +1,35 @@
+"""In-house microbenchmarks (Section 4): uBENCH X.
+
+"uBENCH X accesses one byte after every X bytes in sequential manner
+with read/write ratio of 1."  A larger stride covers more cache lines
+per unit work, raising miss and metadata-eviction rates — uBENCH128
+evicts more than uBENCH16 (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _ubench_generator(stride: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        address = 0
+        write = False
+        for _ in range(num_refs):
+            yield address % footprint_bytes, write, gap
+            write = not write  # read/write ratio of 1
+            address += stride
+    return generate
+
+
+def ubench(stride: int, footprint_bytes: int = 16 << 20,
+           num_refs: int = 20_000, gap: int = 4) -> Workload:
+    """Sequential sweep touching one byte every ``stride`` bytes."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    return Workload(
+        name=f"ubench{stride}",
+        generator=_ubench_generator(stride, gap),
+        footprint_bytes=footprint_bytes,
+        num_refs=num_refs,
+    )

@@ -1,0 +1,198 @@
+"""WHISPER-style persistent-memory kernels (Nalli et al., ASPLOS 2017).
+
+Three representative kernels from the suite's families:
+
+* ``ctree``  — crash-consistent tree: per operation a root-to-leaf walk
+  (pointer-dependent reads), then an insert write plus a parent update
+  and an undo-log append.
+* ``hashmap`` — persistent hash table: bucket-head read, short chain
+  walk, then an in-place value update write and a log write.
+* ``redo_log`` — redo-log transactions: a batch of sequential log
+  appends followed by random in-place commits to the home locations.
+
+All three are write-heavy with persistence-ordering patterns — the
+workload class Soteria's extra writes could hurt most, which is why the
+paper leads with them.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+BLOCK = 64
+
+
+def _ctree_generator(depth: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        log_base = blocks - blocks // 8  # top 1/8th reserved for the log
+        log_head = 0
+        emitted = 0
+        while emitted < num_refs:
+            # Root-to-leaf walk: the node at each level is derived from
+            # the key, modeling pointer-dependent reads.
+            key = int(rng.integers(0, 1 << 30))
+            node = key % 97
+            for level in range(depth):
+                address = (node % log_base) * BLOCK
+                yield address, False, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+                node = (node * 2654435761 + key + level) % log_base
+            leaf = (node % log_base) * BLOCK
+            # Undo-log append, then the insert and the parent update.
+            yield (log_base + log_head % (blocks - log_base)) * BLOCK, True, gap
+            log_head += 1
+            emitted += 1
+            if emitted >= num_refs:
+                return
+            yield leaf, True, gap
+            emitted += 1
+            if emitted >= num_refs:
+                return
+            yield ((node // 8) % log_base) * BLOCK, True, gap
+            emitted += 1
+    return generate
+
+
+def _hashmap_generator(chain: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        log_base = blocks - blocks // 8
+        log_head = 0
+        emitted = 0
+        while emitted < num_refs:
+            key = int(rng.integers(0, 1 << 30))
+            bucket = (key * 2654435761) % log_base
+            walk = int(rng.integers(1, chain + 1))
+            for i in range(walk):
+                yield ((bucket + i * 7) % log_base) * BLOCK, False, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+            yield ((bucket + walk * 7) % log_base) * BLOCK, True, gap
+            emitted += 1
+            if emitted >= num_refs:
+                return
+            yield (log_base + log_head % (blocks - log_base)) * BLOCK, True, gap
+            log_head += 1
+            emitted += 1
+    return generate
+
+
+def _redo_log_generator(batch: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        log_base = blocks - blocks // 4  # 1/4th of space is the log
+        log_head = 0
+        emitted = 0
+        while emitted < num_refs:
+            homes = rng.integers(0, log_base, size=batch)
+            for home in homes:  # read home locations into the tx
+                yield int(home) * BLOCK, False, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+            for _ in range(batch):  # sequential redo-log appends
+                yield (log_base + log_head % (blocks - log_base)) * BLOCK, True, gap
+                log_head += 1
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+            for home in homes:  # commit in place
+                yield int(home) * BLOCK, True, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+    return generate
+
+
+def _tpcc_generator(records_per_tx: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        log_base = blocks - blocks // 8
+        log_head = 0
+        emitted = 0
+        while emitted < num_refs:
+            # New-order style transaction: read warehouse/district/
+            # customer rows, insert order rows, append to the log,
+            # update the district counter in place.
+            rows = rng.integers(0, log_base, size=records_per_tx)
+            for row in rows:
+                yield int(row) * BLOCK, False, gap
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+            for i in range(records_per_tx // 2 + 1):
+                yield (log_base + log_head % (blocks - log_base)) * BLOCK, True, gap
+                log_head += 1
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+            yield int(rows[0]) * BLOCK, True, gap  # district update
+            emitted += 1
+    return generate
+
+
+def _echo_generator(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        index_blocks = max(1, blocks // 16)
+        heap_base = index_blocks
+        heap_blocks = blocks - heap_base
+        heap_head = 0
+        emitted = 0
+        while emitted < num_refs:
+            key = int(rng.integers(0, 1 << 24))
+            slot = (key * 2654435761) % index_blocks
+            yield slot * BLOCK, False, gap  # index lookup
+            emitted += 1
+            if emitted >= num_refs:
+                return
+            if rng.random() < 0.6:
+                # put: append a new version to the heap, update index.
+                yield (heap_base + heap_head % heap_blocks) * BLOCK, True, gap
+                heap_head += 1
+                emitted += 1
+                if emitted >= num_refs:
+                    return
+                yield slot * BLOCK, True, gap
+                emitted += 1
+            else:
+                # get: read the current version.
+                version = (key * 48271) % heap_blocks
+                yield (heap_base + version) * BLOCK, False, gap
+                emitted += 1
+    return generate
+
+
+def ctree(footprint_bytes: int = 16 << 20, num_refs: int = 20_000,
+          depth: int = 4, gap: int = 8) -> Workload:
+    return Workload("ctree", _ctree_generator(depth, gap),
+                    footprint_bytes, num_refs)
+
+
+def hashmap(footprint_bytes: int = 16 << 20, num_refs: int = 20_000,
+            chain: int = 3, gap: int = 8) -> Workload:
+    return Workload("hashmap", _hashmap_generator(chain, gap),
+                    footprint_bytes, num_refs)
+
+
+def redo_log(footprint_bytes: int = 16 << 20, num_refs: int = 20_000,
+             batch: int = 8, gap: int = 6) -> Workload:
+    return Workload("redo_log", _redo_log_generator(batch, gap),
+                    footprint_bytes, num_refs)
+
+
+def tpcc(footprint_bytes: int = 16 << 20, num_refs: int = 20_000,
+         records_per_tx: int = 6, gap: int = 10) -> Workload:
+    """TPC-C-style new-order transactions over persistent tables."""
+    return Workload("tpcc", _tpcc_generator(records_per_tx, gap),
+                    footprint_bytes, num_refs)
+
+
+def echo(footprint_bytes: int = 16 << 20, num_refs: int = 20_000,
+         gap: int = 8) -> Workload:
+    """Echo-style versioned KV store: append-only heap + small index."""
+    return Workload("echo", _echo_generator(gap), footprint_bytes, num_refs)

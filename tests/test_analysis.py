@@ -1,0 +1,174 @@
+"""Tests for the reliability analysis: expected loss, UDR, decomposition."""
+
+import pytest
+
+from repro.analysis import (
+    amplification_factor,
+    compare_schemes,
+    compute_udr,
+    decompose,
+    expected_loss,
+    expected_loss_per_error,
+    figure3_series,
+    figure12_table,
+    geometric_mean,
+    level_inventory,
+    metadata_blocks,
+    scheme_depths,
+)
+
+TB = 1 << 40
+GB = 1 << 30
+
+
+class TestLevelInventory:
+    def test_levels_cover_whole_memory(self):
+        for size in (GB, 4 * GB, TB):
+            for info in level_inventory(size):
+                covered = info.nodes * info.coverage_blocks
+                assert covered * 64 >= size
+
+    def test_each_level_same_total_coverage(self):
+        """n_l x c_l is constant across levels (the paper's key
+        observation: every level adds the same expected loss)."""
+        inventory = level_inventory(TB)
+        products = [i.nodes * i.coverage_blocks for i in inventory[:-1]]
+        assert len(set(products)) == 1
+
+    def test_metadata_overhead_about_1_78_percent(self):
+        """Section 3.1: counters 1/64 + upper levels ~= 1.78% of data."""
+        overhead = metadata_blocks(TB) / (TB // 64)
+        assert 0.0155 < overhead < 0.0185
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            level_inventory(100)
+
+
+class TestExpectedLoss:
+    def test_non_secure_loses_one_block_per_error(self):
+        assert expected_loss_per_error(TB, secure=False) == 64.0
+
+    def test_secure_amplification_about_12x_at_4tb(self):
+        """Figure 3: secure memory loses ~12x more expected data."""
+        factor = amplification_factor(4 * TB)
+        assert 9 <= factor <= 14
+
+    def test_amplification_grows_with_memory_size(self):
+        assert amplification_factor(TB) < amplification_factor(64 * TB)
+
+    def test_loss_linear_in_errors(self):
+        one = expected_loss(TB, 1, secure=True)
+        ten = expected_loss(TB, 10, secure=True)
+        assert ten == pytest.approx(10 * one)
+
+    def test_figure3_series_structure(self):
+        series = figure3_series(4 * TB, error_counts=[1, 2, 4])
+        assert series["error_counts"] == [1, 2, 4]
+        assert len(series["secure_bytes"]) == 3
+        assert all(
+            s > n
+            for s, n in zip(series["secure_bytes"], series["non_secure_bytes"])
+        )
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(ValueError):
+            expected_loss(TB, -1, secure=True)
+
+
+class TestUdr:
+    P = 3e-6  # p_block_due around the paper's FIT-80 operating point
+
+    def test_baseline_udr_is_p_times_levels(self):
+        result = compute_udr(self.P, TB)
+        num_levels = len(level_inventory(TB))
+        assert result.udr == pytest.approx(self.P * num_levels, rel=0.05)
+
+    def test_cloning_reduces_udr_dramatically(self):
+        out = compare_schemes(self.P, TB)
+        assert out["baseline"].udr > out["src"].udr > out["sac"].udr
+        assert out["baseline"].udr / out["src"].udr > 1e4
+
+    def test_resilience_vs(self):
+        out = compare_schemes(self.P, TB)
+        # src.resilience_vs(baseline): how many times more resilient
+        # SRC is than the baseline — far greater than 1.
+        assert out["src"].resilience_vs(out["baseline"]) > 1e3
+        assert out["baseline"].resilience_vs(out["src"]) < 1
+
+    def test_p_multi_due_overrides_independence(self):
+        correlated = {1: self.P, 2: self.P / 10, 3: self.P / 10,
+                      4: self.P / 10, 5: self.P / 10}
+        independent = compute_udr(self.P, TB, clone_depths={1: 2})
+        with_corr = compute_udr(
+            self.P, TB, clone_depths={1: 2}, p_multi_due=correlated
+        )
+        assert with_corr.udr > independent.udr
+
+    def test_zero_probability_gives_zero_udr(self):
+        assert compute_udr(0.0, TB).udr == 0.0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            compute_udr(1.5, TB)
+
+    def test_scheme_depths(self):
+        depths = scheme_depths("sac", TB)
+        assert depths[1] == 2
+        assert max(depths.values()) == 5
+        assert scheme_depths("baseline", TB) == {
+            level: 1 for level in depths
+        }
+        with pytest.raises(ValueError):
+            scheme_depths("other", TB)
+
+    def test_per_level_contributions_equal_for_baseline(self):
+        result = compute_udr(self.P, TB)
+        values = [result.per_level[lvl] for lvl in sorted(result.per_level)[:-1]]
+        assert max(values) / min(values) < 1.01
+
+
+class TestLossDecomposition:
+    P = 3e-6
+
+    def test_non_secure_is_error_only(self):
+        d = decompose(self.P, 8 * TB, "non-secure")
+        assert d.l_unverifiable_bytes == 0
+        assert d.inflation == 1.0
+
+    def test_baseline_inflation_matches_level_count(self):
+        d = decompose(self.P, 8 * TB, "baseline")
+        levels = len(level_inventory(8 * TB))
+        assert d.inflation == pytest.approx(1 + levels, rel=0.05)
+
+    def test_soteria_total_close_to_error_only(self):
+        """Figure 12: SRC and SAC keep L_total ~= L_error."""
+        for scheme in ("src", "sac"):
+            d = decompose(self.P, 8 * TB, scheme)
+            assert d.inflation < 1.001
+
+    def test_figure12_table_ordering(self):
+        table = figure12_table(self.P)
+        assert (
+            table["non-secure"].l_total_bytes
+            <= table["sac"].l_total_bytes
+            <= table["src"].l_total_bytes
+            <= table["baseline"].l_total_bytes
+        )
+        # Baseline loses several times more data overall (paper: 5.06x).
+        assert table["baseline"].inflation > 4
+
+    def test_zero_error_inflation(self):
+        d = decompose(0.0, TB, "baseline")
+        assert d.inflation == 1.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,280 @@
+"""Tests for the BMT integrity mode and Osiris recovery.
+
+The BMT is the paper's contrast case (Sections 2.5 / 6.1): intermediate
+nodes are plain hash nodes, recomputable from their children — so an
+error in an intermediate node is repairable *without* clones, unlike
+the ToC.  Counters remain non-recomputable in both modes, which is why
+Soteria's counter cloning still matters under BMT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import (
+    IntegrityError,
+    RecoveryError,
+    SecureMemoryController,
+)
+from repro.core import make_controller
+from repro.recovery import OsirisRecovery, RecoveryManager
+from repro.tree import BmtNode, ZERO_DIGEST
+
+KB = 1024
+
+
+def make(data_kb=256, cache_kb=4, seed=7, **kwargs):
+    return SecureMemoryController(
+        data_kb * KB,
+        metadata_cache_bytes=cache_kb * KB,
+        integrity_mode="bmt",
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+def storm(ctrl, ops=1000, seed=3):
+    rng = np.random.default_rng(seed)
+    expect = {}
+    for _ in range(ops):
+        block = int(rng.integers(0, ctrl.num_data_blocks))
+        data = bytes(int(x) for x in rng.integers(0, 256, 64))
+        ctrl.write(block, data)
+        expect[block] = data
+    return expect
+
+
+class TestBmtNode:
+    def test_roundtrip(self):
+        node = BmtNode()
+        node.set_digest(3, b"12345678")
+        assert BmtNode.from_bytes(node.to_bytes()) == node
+
+    def test_initial_zero(self):
+        assert BmtNode().digest(0) == ZERO_DIGEST
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BmtNode(digests=[b"x"] * 8)
+        with pytest.raises(ValueError):
+            BmtNode(digests=[ZERO_DIGEST] * 7)
+        with pytest.raises(IndexError):
+            BmtNode().digest(8)
+        with pytest.raises(ValueError):
+            BmtNode().set_digest(0, b"short")
+        with pytest.raises(ValueError):
+            BmtNode.from_bytes(b"short")
+
+    def test_copy_independent(self):
+        node = BmtNode()
+        dup = node.copy()
+        node.set_digest(0, b"AAAAAAAA")
+        assert dup.digest(0) == ZERO_DIGEST
+
+
+class TestBmtDatapath:
+    def test_roundtrip(self):
+        ctrl = make()
+        expect = storm(ctrl, ops=800)
+        for block, data in expect.items():
+            assert ctrl.read(block).data == data
+
+    def test_roundtrip_survives_flush(self):
+        ctrl = make()
+        expect = storm(ctrl, ops=500)
+        ctrl.flush()
+        for block, data in expect.items():
+            assert ctrl.read(block).data == data
+
+    def test_no_shadow_or_sidecar_traffic(self):
+        ctrl = make()
+        storm(ctrl, ops=500)
+        w = ctrl.stats.nvm_writes_by_kind
+        assert w.get("shadow", 0) == 0
+        assert w.get("counter_mac", 0) == 0
+        r = ctrl.stats.nvm_reads_by_kind
+        assert r.get("counter_mac", 0) == 0
+
+    def test_tampered_data_detected(self):
+        ctrl = make()
+        ctrl.write(0, b"\x42" * 64)
+        ctrl.flush()
+        ctrl.nvm.flip_bits(ctrl.amap.data_addr(0), [0])
+        with pytest.raises(IntegrityError):
+            ctrl.read(0)
+
+    def test_tampered_counter_detected(self):
+        ctrl = make()
+        storm(ctrl, ops=300)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        target = next(
+            i for i in range(ctrl.amap.level_sizes[0])
+            if ctrl.nvm.is_touched(ctrl.amap.node_addr(1, i))
+        )
+        ctrl.nvm.flip_bits(ctrl.amap.node_addr(1, target), [5])
+        with pytest.raises(IntegrityError):
+            ctrl.read(target * 64)
+
+    def test_replayed_counter_detected(self):
+        """Rolling back a counter block (with consistent old data and
+        MACs) fails against the parent digest — the BMT's freshness
+        comes from the always-propagated digest chain."""
+        ctrl = make()
+        ctrl.write(0, b"\x01" * 64)
+        ctrl.flush()
+        old_counter = ctrl.nvm.read_block(ctrl.amap.node_addr(1, 0))
+        old_data = ctrl.nvm.read_block(ctrl.amap.data_addr(0))
+        old_mac = ctrl.nvm.read_block(ctrl.amap.mac_addr(0))
+        ctrl.write(0, b"\x02" * 64)
+        ctrl.flush()
+        ctrl.nvm.write_block(ctrl.amap.node_addr(1, 0), old_counter)
+        ctrl.nvm.write_block(ctrl.amap.data_addr(0), old_data)
+        ctrl.nvm.write_block(ctrl.amap.mac_addr(0), old_mac)
+        ctrl.metadata_cache.flush_all()
+        with pytest.raises(IntegrityError):
+            ctrl.read(0)
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            SecureMemoryController(64 * KB, integrity_mode="merkle")
+
+
+class TestBmtRecomputation:
+    def _corrupt_l2(self, ctrl, expect):
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        target = next(
+            i for i in range(ctrl.amap.level_sizes[1])
+            if ctrl.nvm.is_touched(ctrl.amap.node_addr(2, i))
+        )
+        ctrl.nvm.flip_bits(ctrl.amap.node_addr(2, target), [9])
+        return next(
+            bi for bi in expect
+            if bi in ctrl.amap.data_blocks_covered(2, target)
+        )
+
+    def test_corrupt_node_recomputed_without_clones(self):
+        """The defining BMT property: no clones, yet the intermediate
+        node repairs by recomputation from its children."""
+        ctrl = make()
+        expect = storm(ctrl, ops=1500)
+        victim = self._corrupt_l2(ctrl, expect)
+        assert ctrl.read(victim).data == expect[victim]
+        assert ctrl.stats.bmt_recomputations == 1
+
+    def test_toc_same_corruption_is_fatal(self):
+        """Control: the identical experiment under ToC (no clones)
+        loses the subtree — the paper's motivating asymmetry."""
+        ctrl = SecureMemoryController(
+            256 * KB, metadata_cache_bytes=4 * KB,
+            rng=np.random.default_rng(7),
+        )
+        expect = storm(ctrl, ops=1500)
+        victim = self._corrupt_l2(ctrl, expect)
+        with pytest.raises(IntegrityError):
+            ctrl.read(victim)
+
+    def test_corrupt_counter_still_fatal_without_clones(self):
+        """Counters have no children: BMT cannot recompute them."""
+        ctrl = make()
+        storm(ctrl, ops=300)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        target = next(
+            i for i in range(ctrl.amap.level_sizes[0])
+            if ctrl.nvm.is_touched(ctrl.amap.node_addr(1, i))
+        )
+        ctrl.nvm.flip_bits(ctrl.amap.node_addr(1, target), [2])
+        with pytest.raises(IntegrityError):
+            ctrl.read(target * 64)
+
+    def test_soteria_clones_save_corrupt_counter_in_bmt_mode(self):
+        """Section 6.1: 'if BMT is used, similar concepts can be
+        applied to the encryption counters.'"""
+        ctrl = make_controller(
+            "src", 256 * KB, metadata_cache_bytes=4 * KB,
+            integrity_mode="bmt", rng=np.random.default_rng(7),
+        )
+        expect = storm(ctrl, ops=300)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        target = next(
+            i for i in range(ctrl.amap.level_sizes[0])
+            if ctrl.nvm.is_touched(ctrl.amap.node_addr(1, i))
+        )
+        ctrl.nvm.flip_bits(ctrl.amap.node_addr(1, target), [2])
+        victim = next(bi for bi in expect if bi // 64 == target)
+        assert ctrl.read(victim).data == expect[victim]
+        assert ctrl.stats.clone_repairs == 1
+
+
+class TestOsirisRecovery:
+    def test_dirty_crash_recovers(self):
+        ctrl = make(seed=11)
+        expect = storm(ctrl, ops=1200, seed=12)
+        image = ctrl.crash()
+        recovered, report = OsirisRecovery(image).recover()
+        assert report.counter_blocks_scanned > 0
+        for block, data in expect.items():
+            assert recovered.read(block).data == data
+        assert recovered.verify_system() == []
+
+    def test_recovery_scans_every_written_counter(self):
+        """Osiris is exhaustive where Anubis is targeted — the paper's
+        recovery-time contrast."""
+        ctrl = make(seed=13)
+        storm(ctrl, ops=800, seed=14)
+        image = ctrl.crash()
+        __, report = OsirisRecovery(image).recover()
+        touched = sum(
+            1 for i in range(ctrl.amap.level_sizes[0])
+            if image.nvm.is_touched(ctrl.amap.node_addr(1, i))
+        )
+        assert report.counter_blocks_scanned >= touched
+        assert report.data_blocks_read > 0
+
+    def test_root_mismatch_detected(self):
+        ctrl = make(seed=15)
+        storm(ctrl, ops=300, seed=16)
+        image = ctrl.crash()
+        image.trusted.root = BmtNode()  # lost/forged root register
+        with pytest.raises(RecoveryError):
+            OsirisRecovery(image).recover()
+
+    def test_rollback_replay_detected_at_recovery(self):
+        """Replaying a fully consistent old NVM snapshot around a crash
+        is caught by the root-register comparison."""
+        ctrl = make(seed=17)
+        ctrl.write(0, b"\x01" * 64)
+        ctrl.flush()
+        snapshot = {
+            addr: ctrl.nvm.read_block(addr)
+            for addr in ctrl.nvm.touched_addresses()
+        }
+        ctrl.write(0, b"\x02" * 64)
+        ctrl.flush()
+        image = ctrl.crash()
+        # Attacker restores the old snapshot wholesale.
+        for addr, raw in snapshot.items():
+            image.nvm.write_block(addr, raw)
+        with pytest.raises(RecoveryError):
+            OsirisRecovery(image).recover()
+
+    def test_crash_work_crash_again(self):
+        ctrl = make(seed=18)
+        expect = storm(ctrl, ops=600, seed=19)
+        recovered, __ = OsirisRecovery(ctrl.crash()).recover()
+        expect.update(storm(recovered, ops=400, seed=20))
+        recovered2, __ = OsirisRecovery(recovered.crash()).recover()
+        for block, data in expect.items():
+            assert recovered2.read(block).data == data
+
+    def test_mode_guards(self):
+        toc = SecureMemoryController(64 * KB, rng=np.random.default_rng(1))
+        toc_image = toc.crash()
+        with pytest.raises(RecoveryError):
+            OsirisRecovery(toc_image)
+        bmt = make(seed=21)
+        bmt_image = bmt.crash()
+        with pytest.raises(RecoveryError):
+            RecoveryManager(bmt_image).recover()

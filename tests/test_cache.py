@@ -1,0 +1,246 @@
+"""Tests for the generic cache, CPU hierarchy, and metadata cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheHierarchy,
+    LevelConfig,
+    MetadataCache,
+    SetAssociativeCache,
+)
+
+
+class TestSetAssociativeCache:
+    @pytest.fixture
+    def cache(self):
+        # 4 sets x 2 ways x 64B = 512B
+        return SetAssociativeCache(size_bytes=512, ways=2)
+
+    def test_miss_then_hit(self, cache):
+        hit, ev = cache.access(0)
+        assert not hit and ev is None
+        hit, ev = cache.access(0)
+        assert hit
+
+    def test_unaligned_access_maps_to_line(self, cache):
+        cache.access(0)
+        hit, _ = cache.access(63)
+        assert hit
+
+    def test_lru_eviction(self, cache):
+        # Addresses 0, 256, 512 share set 0 (4 sets * 64B stride = 256B).
+        cache.access(0)
+        cache.access(256)
+        cache.access(0)      # make 256 the LRU
+        hit, ev = cache.access(512)
+        assert not hit
+        assert ev is not None and ev.address == 256
+
+    def test_dirty_eviction_flagged(self, cache):
+        cache.access(0, is_write=True)
+        cache.access(256)
+        _, ev = cache.access(512)
+        assert ev.address == 0 and ev.dirty
+
+    def test_write_hit_sets_dirty(self, cache):
+        cache.access(0)
+        cache.access(0, is_write=True)
+        ev = cache.invalidate(0)
+        assert ev.dirty
+
+    def test_payload_stored_and_updated(self, cache):
+        cache.access(0, payload="v1")
+        assert cache.peek(0) == "v1"
+        cache.update_payload(0, "v2")
+        assert cache.peek(0) == "v2"
+        with pytest.raises(KeyError):
+            cache.update_payload(64, "x")
+
+    def test_flush_all(self, cache):
+        cache.access(0, is_write=True)
+        cache.access(64)
+        evs = cache.flush_all()
+        assert len(evs) == 2
+        assert len(cache) == 0
+
+    def test_stats(self, cache):
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert 0 < cache.stats.miss_rate < 1
+
+    def test_address_roundtrip(self, cache):
+        for addr in (0, 64, 256, 1024, 4096):
+            s, t = cache.set_index(addr), cache.tag_of(addr)
+            assert cache.address_of(s, t) == addr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=100, ways=2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(size_bytes=0, ways=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_property_occupancy_bounded(self, addrs):
+        cache = SetAssociativeCache(size_bytes=512, ways=2)
+        for a in addrs:
+            cache.access(a * 64)
+        assert len(cache) <= 8  # 4 sets x 2 ways
+
+    @settings(max_examples=30, deadline=None)
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=31), max_size=100))
+    def test_property_recent_line_always_resident(self, addrs):
+        cache = SetAssociativeCache(size_bytes=512, ways=2)
+        for a in addrs:
+            cache.access(a * 64)
+            assert cache.contains(a * 64)
+
+
+class TestCacheHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        levels = (
+            LevelConfig("L1", 256, 2, 2),
+            LevelConfig("L2", 1024, 4, 10),
+        )
+        return CacheHierarchy(levels=levels)
+
+    def test_first_access_misses_to_memory(self, hierarchy):
+        res = hierarchy.access(0, is_write=False)
+        assert res.hit_level == "memory"
+        assert res.memory_read
+        assert res.latency_cycles == 12
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(0, is_write=False)
+        res = hierarchy.access(0, is_write=False)
+        assert res.hit_level == "L1"
+        assert res.latency_cycles == 2
+        assert not res.memory_read
+
+    def test_l2_hit_promotes_to_l1(self, hierarchy):
+        hierarchy.access(0, is_write=False)
+        # Evict 0 from tiny L1 (2 sets x 2 ways) with conflicting lines.
+        for addr in (128, 256, 384):
+            hierarchy.access(addr, is_write=False)
+        res = hierarchy.access(0, is_write=False)
+        assert res.hit_level in ("L1", "L2")
+        res2 = hierarchy.access(0, is_write=False)
+        assert res2.hit_level == "L1"
+
+    def test_dirty_llc_eviction_produces_writeback(self):
+        levels = (LevelConfig("LLC", 128, 1, 5),)  # 2 sets x 1 way
+        h = CacheHierarchy(levels=levels)
+        h.access(0, is_write=True)
+        res = h.access(128, is_write=False)  # same set, evicts dirty 0
+        assert 0 in res.writebacks
+
+    def test_flush_dirty(self, hierarchy):
+        hierarchy.access(0, is_write=True)
+        dirty = hierarchy.flush_dirty()
+        assert 0 in dirty
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(levels=())
+
+
+class TestMetadataCache:
+    @pytest.fixture
+    def mcache(self):
+        # 2 sets x 2 ways
+        return MetadataCache(size_bytes=256, ways=2)
+
+    def test_miss_returns_none_and_counts(self, mcache):
+        assert mcache.get(0) is None
+        assert mcache.stats.misses == 1
+
+    def test_fill_then_get(self, mcache):
+        assert mcache.fill(0, "counter-block") is None
+        assert mcache.get(0) == "counter-block"
+        assert mcache.stats.hits == 1
+
+    def test_fill_existing_updates_in_place(self, mcache):
+        mcache.fill(0, "v1")
+        assert mcache.fill(0, "v2", dirty=True) is None
+        assert mcache.peek(0) == "v2"
+        assert len(mcache) == 1
+
+    def test_eviction_on_conflict(self, mcache):
+        # Set stride: 2 sets -> addresses 0 and 128 share set 0.
+        mcache.fill(0, "a")
+        mcache.fill(128, "b")
+        ev = mcache.fill(256, "c")
+        assert ev is not None
+        assert ev.address == 0  # LRU
+        assert ev.payload == "a"
+        assert ev.set_index == 0
+
+    def test_lru_respects_get_touch(self, mcache):
+        mcache.fill(0, "a")
+        mcache.fill(128, "b")
+        mcache.get(0)  # touch
+        ev = mcache.fill(256, "c")
+        assert ev.address == 128
+
+    def test_dirty_tracking(self, mcache):
+        mcache.fill(0, "a")
+        mcache.mark_dirty(0)
+        mcache.fill(128, "b")
+        ev = mcache.fill(256, "c")
+        assert ev.dirty
+        assert mcache.stats.dirty_evictions == 1
+        with pytest.raises(KeyError):
+            mcache.mark_dirty(999 * 64)
+
+    def test_slot_identity_stable(self, mcache):
+        mcache.fill(0, "a")
+        loc1 = mcache.location_of(0)
+        mcache.get(0)
+        mcache.fill(128, "b")
+        assert mcache.location_of(0) == loc1
+        assert mcache.slot_id(*loc1) == loc1[0] * 2 + loc1[1]
+
+    def test_invalidate(self, mcache):
+        mcache.fill(0, "a", dirty=True)
+        rec = mcache.invalidate(0)
+        assert rec.dirty and rec.payload == "a"
+        assert mcache.invalidate(0) is None
+        assert len(mcache) == 0
+
+    def test_flush_all_returns_everything(self, mcache):
+        mcache.fill(0, "a", dirty=True)
+        mcache.fill(64, "b")
+        records = mcache.flush_all()
+        assert len(records) == 2
+        assert len(mcache) == 0
+
+    def test_resident_listing(self, mcache):
+        mcache.fill(64, "b")
+        mcache.fill(0, "a", dirty=True)
+        assert mcache.resident() == [(0, "a", True), (64, "b", False)]
+
+    def test_alignment_enforced(self, mcache):
+        with pytest.raises(ValueError):
+            mcache.fill(3, "x")
+
+    def test_num_slots(self, mcache):
+        assert mcache.num_slots == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15), st.booleans()),
+        max_size=200,
+    ))
+    def test_property_fill_makes_resident(self, ops):
+        mcache = MetadataCache(size_bytes=256, ways=2)
+        for block, dirty in ops:
+            addr = block * 64
+            mcache.fill(addr, block, dirty=dirty)
+            assert mcache.contains(addr)
+            assert len(mcache) <= 4

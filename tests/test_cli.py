@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestParseSize:
+    def test_units(self):
+        assert _parse_size("1tb") == 1 << 40
+        assert _parse_size("16GB") == 16 << 30
+        assert _parse_size("512mb") == 512 << 20
+        assert _parse_size("64kb") == 64 << 10
+        assert _parse_size("4096") == 4096
+        assert _parse_size("1.5gb") == int(1.5 * (1 << 30))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _parse_size("lots")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("info", "perf", "reliability", "crash-test", "figures"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+    def test_figures_command_wiring(self, tmp_path, monkeypatch, capsys):
+        """The figures command delegates to repro.figures.run_all with
+        the chosen directory and quick/full mode."""
+        import repro.figures as figures
+
+        calls = {}
+
+        def fake_run_all(outdir, quick):
+            calls["outdir"] = str(outdir)
+            calls["quick"] = quick
+            return {}
+
+        monkeypatch.setattr(figures, "run_all", fake_run_all)
+        assert main(["figures", "--out", str(tmp_path)]) == 0
+        assert calls == {"outdir": str(tmp_path), "quick": True}
+        assert main(["figures", "--out", str(tmp_path), "--full"]) == 0
+        assert calls["quick"] is False
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--size", "1gb"]) == 0
+        out = capsys.readouterr().out
+        assert "tree levels" in out
+        assert "metadata storage overhead" in out
+
+    def test_perf_subset(self, capsys):
+        code = main([
+            "perf", "--memory-mb", "16", "--footprint-mb", "2",
+            "--refs", "1500", "--workloads", "gcc",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out
+
+    def test_perf_unknown_workload(self, capsys):
+        assert main(["perf", "--workloads", "doom"]) == 1
+
+    def test_reliability(self, capsys):
+        code = main([
+            "reliability", "--size", "1tb", "--fits", "40",
+            "--trials", "4000", "--decompose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "loss decomposition" in out
+
+    def test_crash_test_toc(self, capsys):
+        code = main([
+            "crash-test", "--scheme", "src", "--ops", "300",
+            "--corrupt-shadow",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery OK" in out
+        assert "repaired" in out
+
+    def test_crash_test_baseline_corrupted_fails(self, capsys):
+        code = main([
+            "crash-test", "--scheme", "baseline", "--ops", "300",
+            "--corrupt-shadow",
+        ])
+        assert code == 1
+        assert "RECOVERY FAILED" in capsys.readouterr().out
+
+    def test_crash_test_bmt(self, capsys):
+        code = main([
+            "crash-test", "--integrity", "bmt", "--ops", "300",
+        ])
+        assert code == 0
+        assert "regenerated" in capsys.readouterr().out

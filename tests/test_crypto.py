@@ -1,0 +1,149 @@
+"""Unit and property tests for the crypto substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import CACHELINE_BYTES, MAC_BYTES
+from repro.crypto import CounterModeEngine, MacEngine, Prf, xor_bytes
+
+
+@pytest.fixture
+def prf():
+    return Prf.generate(np.random.default_rng(7))
+
+
+class TestPrf:
+    def test_deterministic_for_same_inputs(self, prf):
+        assert prf.evaluate(b"a", b"b") == prf.evaluate(b"a", b"b")
+
+    def test_distinct_parts_distinct_output(self, prf):
+        assert prf.evaluate(b"ab", b"c") != prf.evaluate(b"a", b"bc")
+
+    def test_key_separation(self):
+        p1 = Prf.generate(np.random.default_rng(1))
+        p2 = Prf.generate(np.random.default_rng(2))
+        assert p1.evaluate(b"x") != p2.evaluate(b"x")
+
+    def test_variable_length_output(self, prf):
+        long = prf.evaluate(b"x", length=100)
+        assert len(long) == 100
+        assert long[:32] == prf.evaluate(b"x", length=32)
+
+    def test_otp_binds_address_and_counter(self, prf):
+        base = prf.one_time_pad(0x1000, 5, 64)
+        assert base != prf.one_time_pad(0x1040, 5, 64)
+        assert base != prf.one_time_pad(0x1000, 6, 64)
+        assert base == prf.one_time_pad(0x1000, 5, 64)
+
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            Prf(b"short")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(TypeError):
+            Prf("not-bytes" * 4)
+
+    def test_rejects_negative_inputs(self, prf):
+        with pytest.raises(ValueError):
+            prf.one_time_pad(-1, 0, 64)
+        with pytest.raises(ValueError):
+            prf.one_time_pad(0, -1, 64)
+        with pytest.raises(ValueError):
+            prf.evaluate(b"x", length=0)
+
+    def test_generate_with_rng_is_deterministic(self):
+        k1 = Prf.generate(np.random.default_rng(42)).key
+        k2 = Prf.generate(np.random.default_rng(42)).key
+        assert k1 == k2
+
+
+class TestXorBytes:
+    def test_xor_roundtrip(self):
+        a, b = b"\x01\x02\x03", b"\xff\x00\x0f"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"a")
+
+
+class TestCounterMode:
+    @pytest.fixture
+    def engine(self, prf):
+        return CounterModeEngine(prf)
+
+    def test_roundtrip(self, engine):
+        pt = bytes(range(64))
+        ct = engine.encrypt(pt, address=0x40, counter=3)
+        assert ct != pt
+        assert engine.decrypt(ct, address=0x40, counter=3) == pt
+
+    def test_wrong_counter_garbles(self, engine):
+        pt = bytes(64)
+        ct = engine.encrypt(pt, address=0, counter=1)
+        assert engine.decrypt(ct, address=0, counter=2) != pt
+
+    def test_wrong_address_garbles(self, engine):
+        pt = bytes(64)
+        ct = engine.encrypt(pt, address=0, counter=1)
+        assert engine.decrypt(ct, address=64, counter=1) != pt
+
+    def test_same_plaintext_different_counter_differs(self, engine):
+        pt = b"\xaa" * 64
+        assert engine.encrypt(pt, 0, 1) != engine.encrypt(pt, 0, 2)
+
+    def test_block_size_enforced(self, engine):
+        with pytest.raises(ValueError):
+            engine.encrypt(b"short", 0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.binary(min_size=CACHELINE_BYTES, max_size=CACHELINE_BYTES),
+        address=st.integers(min_value=0, max_value=2**48),
+        counter=st.integers(min_value=0, max_value=2**64),
+    )
+    def test_property_roundtrip(self, data, address, counter):
+        engine = CounterModeEngine(Prf(b"k" * 32))
+        ct = engine.encrypt(data, address, counter)
+        assert engine.decrypt(ct, address, counter) == data
+
+
+class TestMacEngine:
+    @pytest.fixture
+    def mac(self):
+        return MacEngine.generate(np.random.default_rng(11))
+
+    def test_mac_is_64_bits(self, mac):
+        assert len(mac.compute(b"hello")) == MAC_BYTES
+
+    def test_verify_accepts_valid(self, mac):
+        tag = mac.compute(b"payload", b"tweak")
+        assert mac.verify(tag, b"payload", b"tweak")
+
+    def test_verify_rejects_tampered_payload(self, mac):
+        tag = mac.compute(b"payload")
+        assert not mac.verify(tag, b"payloae")
+
+    def test_verify_rejects_wrong_length_tag(self, mac):
+        assert not mac.verify(b"\x00" * 4, b"payload")
+
+    def test_data_mac_binds_all_inputs(self, mac):
+        ct = b"\x55" * 64
+        base = mac.data_mac(ct, address=64, counter=9)
+        assert base != mac.data_mac(ct, address=128, counter=9)
+        assert base != mac.data_mac(ct, address=64, counter=10)
+        assert base != mac.data_mac(b"\x56" + ct[1:], address=64, counter=9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=st.binary(max_size=128), flip=st.integers(min_value=0))
+    def test_property_single_bit_flip_detected(self, payload, flip):
+        mac = MacEngine(Prf(b"m" * 32))
+        if not payload:
+            return
+        tag = mac.compute(payload)
+        idx = flip % (len(payload) * 8)
+        tampered = bytearray(payload)
+        tampered[idx // 8] ^= 1 << (idx % 8)
+        assert not mac.verify(tag, bytes(tampered))

@@ -1,0 +1,129 @@
+"""Tests for the shared figure-experiment drivers."""
+
+import pytest
+
+from repro.figures import (
+    fig3_rows,
+    fig4_rows,
+    fig10a_rows,
+    fig10b_rows,
+    fig10c_rows,
+    fig11_gmean_gains,
+    fig11_rows,
+    fig12_rows,
+    export_csv,
+    mtbf_rows,
+    run_all,
+    run_fault_sweep,
+    run_perf_campaign,
+)
+
+TB = 1 << 40
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign():
+    # Large enough that the metadata cache sees some evictions.
+    return run_perf_campaign(memory_mb=16, footprint_bytes=4 << 20,
+                             num_refs=4_000)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_fault_sweep(fits=(10, 80), trials=2_000, trials_per_k=400)
+
+
+class TestAnalyticRows:
+    def test_fig3_rows(self):
+        rows = fig3_rows(error_counts=(1, 4))
+        assert len(rows) == 2
+        for count, plain, secure, ratio in rows:
+            assert secure > plain
+            assert ratio == pytest.approx(secure / plain)
+
+    def test_mtbf_rows(self):
+        rows = mtbf_rows(fits=(1, 80))
+        assert rows[0] == (1, pytest.approx(694.4, abs=0.1))
+        assert rows[1][1] < rows[0][1]
+
+
+class TestCampaignRows:
+    def test_campaign_structure(self, tiny_campaign):
+        assert len(tiny_campaign) == 15
+        for results in tiny_campaign.values():
+            assert set(results) == {"baseline", "src", "sac"}
+
+    def test_fig4_shares_sum_to_one(self, tiny_campaign):
+        rows = fig4_rows(tiny_campaign)
+        assert sum(share for _, _, share in rows) == pytest.approx(1.0)
+
+    def test_fig10a_rows(self, tiny_campaign):
+        rows = fig10a_rows(tiny_campaign)
+        assert len(rows) == len(tiny_campaign)
+        for __, src, sac in rows:
+            assert src >= 0 and sac >= 0
+
+    def test_fig10b_clone_accounting(self, tiny_campaign):
+        for __, src, sac, clones in fig10b_rows(tiny_campaign):
+            assert sac >= src >= 0
+            assert clones >= 0
+
+    def test_fig10c_rows(self, tiny_campaign):
+        for __, rate, miss in fig10c_rows(tiny_campaign):
+            assert rate >= 0
+            assert 0 <= miss <= 1
+
+
+class TestFaultRows:
+    def test_fig11_rows_ordered(self, tiny_sweep):
+        rows = fig11_rows(tiny_sweep)
+        assert [fit for fit, *_ in rows] == [10, 80]
+        for __, base, src, sac in rows:
+            assert base > src >= sac
+
+    def test_fig11_gmean(self, tiny_sweep):
+        src_gain, sac_gain = fig11_gmean_gains(fig11_rows(tiny_sweep))
+        assert src_gain > 1e2
+        assert sac_gain >= src_gain * 0.5
+
+    def test_fig12_rows(self, tiny_sweep):
+        rows = fig12_rows(tiny_sweep[80])
+        schemes = [scheme for scheme, *_ in rows]
+        assert schemes == ["non-secure", "baseline", "src", "sac"]
+        by_scheme = {r[0]: r for r in rows}
+        assert by_scheme["baseline"][4] > by_scheme["src"][4]
+
+
+class TestExport:
+    def test_export_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        export_csv(path, ["a", "b"], [(1, 2), (3, 4)])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_run_all_writes_every_figure(self, tmp_path, monkeypatch):
+        # Shrink the heavy campaigns for the test.
+        import repro.figures as figures
+
+        monkeypatch.setattr(
+            figures, "run_perf_campaign",
+            lambda **kw: run_perf_campaign(
+                memory_mb=16, footprint_bytes=1 << 20, num_refs=400
+            ),
+        )
+        monkeypatch.setattr(
+            figures, "run_fault_sweep",
+            lambda **kw: run_fault_sweep(
+                fits=(10, 80), trials=1_000, trials_per_k=200
+            ),
+        )
+        produced = figures.run_all(tmp_path, quick=True, echo=lambda *a: None)
+        expected = {
+            "fig03_expected_loss", "fig04_eviction_levels",
+            "fig10a_performance", "fig10b_writes", "fig10c_evictions",
+            "fig11_udr", "fig12_loss_8tb", "mtbf_calibration",
+        }
+        written = {p.stem for p in tmp_path.glob("*.csv")}
+        assert expected == written
+        assert len(produced) == 8

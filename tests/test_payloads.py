@@ -1,0 +1,111 @@
+"""Unit tests for metadata-cache payload wrappers and WPQ atomicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.payloads import CounterEntry, MacBlockEntry, NodeEntry
+from repro.counters import SplitCounterBlock, TocNode
+from repro.memory import NvmDevice, WritePendingQueue
+
+
+class TestCounterEntry:
+    def test_kind(self):
+        assert CounterEntry(SplitCounterBlock()).kind == "counter"
+
+    def test_slot_update_tracking(self):
+        entry = CounterEntry(SplitCounterBlock())
+        assert entry.bump_slot(3) == 1
+        assert entry.bump_slot(3) == 2
+        assert entry.bump_slot(5) == 1
+        entry.reset_updates()
+        assert entry.slot_updates == [0] * 64
+
+    def test_independent_update_lists(self):
+        a = CounterEntry(SplitCounterBlock())
+        b = CounterEntry(SplitCounterBlock())
+        a.bump_slot(0)
+        assert b.slot_updates[0] == 0
+
+
+class TestNodeEntry:
+    def test_kind_and_level(self):
+        entry = NodeEntry(TocNode(), level=3)
+        assert entry.kind == "node"
+        assert entry.level == 3
+
+
+class TestMacBlockEntry:
+    def test_kind(self):
+        assert MacBlockEntry().kind == "mac"
+
+    def test_serialization_roundtrip(self):
+        entry = MacBlockEntry(macs=[bytes([i]) * 8 for i in range(8)])
+        assert MacBlockEntry.from_bytes(entry.to_bytes()).macs == entry.macs
+
+    def test_from_bytes_validates(self):
+        with pytest.raises(ValueError):
+            MacBlockEntry.from_bytes(b"short")
+
+    def test_default_is_zero_macs(self):
+        entry = MacBlockEntry()
+        assert entry.to_bytes() == bytes(64)
+
+
+class TestWpqAtomicityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        groups=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=63),
+                    st.integers(min_value=0, max_value=255),
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_atomic_groups_apply_in_order(self, groups):
+        """After any sequence of atomic groups (with forced drains in
+        between), the NVM state is the last-writer-wins fold of all
+        groups in submission order."""
+        nvm = NvmDevice(capacity_bytes=64 * 64)
+        wpq = WritePendingQueue(nvm, capacity=8)
+        expected = {}
+        for group in groups:
+            entries = []
+            for block, value in group:
+                address = block * 64
+                data = bytes([value]) * 64
+                entries.append((address, data))
+            wpq.enqueue_atomic(entries)
+            for address, data in entries:
+                expected[address] = data
+        wpq.drain_all()
+        for address, data in expected.items():
+            assert nvm.read_block(address) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pending=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63),
+                      st.integers(min_value=0, max_value=255)),
+            max_size=12,
+        )
+    )
+    def test_property_lookup_sees_latest_pending(self, pending):
+        nvm = NvmDevice(capacity_bytes=64 * 64)
+        wpq = WritePendingQueue(nvm, capacity=8)
+        latest = {}
+        for block, value in pending:
+            address = block * 64
+            data = bytes([value]) * 64
+            wpq.enqueue(address, data)
+            latest[address] = data
+        for address, data in latest.items():
+            # Either still pending (forwarded) or already drained.
+            visible = wpq.lookup(address) or nvm.read_block(address)
+            assert visible == data

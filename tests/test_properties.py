@@ -1,0 +1,161 @@
+"""System-level property tests (hypothesis).
+
+Two invariants define this system's correctness:
+
+1. **Linearizable persistence** — against a model dict, any sequence of
+   writes/reads/flushes/crash-recoveries returns exactly the last
+   written value for every block.
+2. **No silent corruption** — whatever bits an attacker or fault flips
+   in NVM, a read either returns the correct plaintext (possibly via a
+   clone repair) or raises; it never returns wrong data as if valid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.controller import (
+    DataPoisonedError,
+    IntegrityError,
+    SecureMemoryController,
+)
+from repro.core import make_controller
+from repro.recovery import OsirisRecovery, RecoveryManager
+
+KB = 1024
+
+# One op: (kind, block, value)
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "flush", "crash"]),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _apply_ops(ctrl, ops, model, recover):
+    for kind, block, value in ops:
+        block %= ctrl.num_data_blocks
+        if kind == "write":
+            data = bytes([value]) * 64
+            ctrl.write(block, data)
+            model[block] = data
+        elif kind == "read":
+            expected = model.get(block, bytes(64))
+            assert ctrl.read(block).data == expected
+        elif kind == "flush":
+            ctrl.flush()
+        else:  # crash
+            ctrl = recover(ctrl.crash())
+    return ctrl
+
+
+class TestLinearizablePersistence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+    def test_toc_model_agreement(self, ops, seed):
+        ctrl = SecureMemoryController(
+            64 * KB, metadata_cache_bytes=1 * KB,
+            rng=np.random.default_rng(seed),
+        )
+        model = {}
+        ctrl = _apply_ops(
+            ctrl, ops, model,
+            recover=lambda image: RecoveryManager(image).recover()[0],
+        )
+        for block, data in model.items():
+            assert ctrl.read(block).data == data
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+    def test_bmt_model_agreement(self, ops, seed):
+        ctrl = SecureMemoryController(
+            64 * KB, metadata_cache_bytes=1 * KB, integrity_mode="bmt",
+            rng=np.random.default_rng(seed),
+        )
+        model = {}
+        ctrl = _apply_ops(
+            ctrl, ops, model,
+            recover=lambda image: OsirisRecovery(image).recover()[0],
+        )
+        for block, data in model.items():
+            assert ctrl.read(block).data == data
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=OPS, seed=st.integers(min_value=0, max_value=100))
+    def test_src_model_agreement(self, ops, seed):
+        ctrl = make_controller(
+            "src", 64 * KB, metadata_cache_bytes=1 * KB,
+            rng=np.random.default_rng(seed),
+        )
+        model = {}
+        ctrl = _apply_ops(
+            ctrl, ops, model,
+            recover=lambda image: RecoveryManager(image).recover()[0],
+        )
+        for block, data in model.items():
+            assert ctrl.read(block).data == data
+
+
+class TestNoSilentCorruption:
+    """Flip arbitrary bits anywhere in NVM: reads must be right or raise."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scheme=st.sampled_from(["baseline", "src"]),
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=0, max_value=511),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_corruption_never_silent(self, scheme, flips, seed):
+        ctrl = make_controller(
+            scheme, 64 * KB, metadata_cache_bytes=1 * KB,
+            rng=np.random.default_rng(seed),
+        )
+        rng = np.random.default_rng(seed + 1)
+        model = {}
+        for _ in range(120):
+            block = int(rng.integers(0, ctrl.num_data_blocks))
+            data = bytes(int(x) for x in rng.integers(0, 256, 64))
+            ctrl.write(block, data)
+            model[block] = data
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()  # force NVM re-fetches
+
+        touched = ctrl.nvm.touched_addresses()
+        for pick, bit in flips:
+            address = touched[pick % len(touched)]
+            ctrl.nvm.flip_bits(address, [bit])
+
+        for block, data in model.items():
+            try:
+                result = ctrl.read(block)
+            except (IntegrityError, DataPoisonedError):
+                continue  # detected: acceptable outcome
+            assert result.data == data, "silent corruption!"

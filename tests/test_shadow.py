@@ -1,0 +1,165 @@
+"""Unit tests for shadow-table codecs, records, and the manager."""
+
+import numpy as np
+import pytest
+
+from repro.controller.shadow import (
+    KIND_COUNTER,
+    KIND_EMPTY,
+    KIND_NODE,
+    AnubisShadowCodec,
+    ShadowManager,
+    ShadowRecord,
+    reconstruct_counter,
+)
+from repro.crypto import MacEngine
+from repro.memory import AddressMap, NvmDevice, WritePendingQueue
+
+KB = 1024
+
+
+def record(address=0x1000, kind=KIND_NODE, lsbs=(1, 2, 3, 4, 5, 6, 7, 8),
+           mac=b"abcdefgh"):
+    return ShadowRecord(address=address, kind=kind, lsbs=lsbs, mac=mac)
+
+
+class TestAnubisCodec:
+    def test_roundtrip_node(self):
+        codec = AnubisShadowCodec()
+        raw = codec.encode(record())
+        assert len(raw) == 64
+        (decoded,) = codec.decode_candidates(raw)
+        assert decoded == record()
+
+    def test_roundtrip_counter(self):
+        codec = AnubisShadowCodec()
+        r = record(kind=KIND_COUNTER, lsbs=(0,) * 8)
+        (decoded,) = codec.decode_candidates(codec.encode(r))
+        assert decoded == r
+
+    def test_empty_record_roundtrip(self):
+        codec = AnubisShadowCodec()
+        r = ShadowRecord(address=0, kind=KIND_EMPTY, lsbs=(0,) * 8,
+                         mac=b"\x00" * 8)
+        (decoded,) = codec.decode_candidates(codec.encode(r))
+        assert decoded.is_empty
+
+    def test_lsbs_masked_to_48_bits(self):
+        codec = AnubisShadowCodec()
+        r = record(lsbs=((1 << 50) | 7,) * 8)
+        (decoded,) = codec.decode_candidates(codec.encode(r))
+        assert decoded.lsbs == (((1 << 50) | 7) & ((1 << 48) - 1),) * 8
+
+    def test_kind_packed_in_address_low_bits(self):
+        codec = AnubisShadowCodec()
+        raw = codec.encode(record(address=0x40, kind=KIND_COUNTER))
+        tagged = int.from_bytes(raw[:8], "little")
+        assert tagged == 0x40 | KIND_COUNTER
+
+    def test_invalid_inputs(self):
+        codec = AnubisShadowCodec()
+        with pytest.raises(ValueError):
+            codec.encode(record(address=3))  # unaligned
+        with pytest.raises(ValueError):
+            codec.encode(record(kind=9))
+        with pytest.raises(ValueError):
+            codec.encode(record(lsbs=(1, 2)))
+        with pytest.raises(ValueError):
+            codec.encode(record(mac=b"xx"))
+        with pytest.raises(ValueError):
+            codec.decode_candidates(b"short")
+
+    def test_garbage_kind_decodes_empty(self):
+        codec = AnubisShadowCodec()
+        raw = bytearray(codec.encode(record()))
+        raw[0] = (raw[0] & ~0x3F) | 0x2A  # invalid kind bits
+        (decoded,) = codec.decode_candidates(bytes(raw))
+        assert decoded.is_empty
+
+
+class TestReconstructCounter:
+    def test_no_advance(self):
+        assert reconstruct_counter(10, 10 & 0xFFFF, 16) == 10
+
+    def test_simple_advance(self):
+        assert reconstruct_counter(10, 13, 16) == 13
+
+    def test_carry_resolution(self):
+        # stale 0xFFFE, recorded LSB 0x0003: value crossed the 16-bit
+        # boundary once.
+        stale = 0xFFFE
+        assert reconstruct_counter(stale, 3, 16) == 0x10003
+
+    def test_exactly_at_boundary(self):
+        assert reconstruct_counter(0, 0, 16) == 0
+
+    def test_48_bit_field(self):
+        stale = (1 << 48) - 2
+        value = stale + 5
+        lsb = value & ((1 << 48) - 1)
+        assert reconstruct_counter(stale, lsb, 48) == value
+
+    @pytest.mark.parametrize("advance", [0, 1, 100, 0xFFFF])
+    def test_any_advance_below_modulus_recovered(self, advance):
+        stale = 123456
+        value = stale + advance
+        assert reconstruct_counter(stale, value & 0xFFFF, 16) == value
+
+
+class TestShadowManager:
+    @pytest.fixture
+    def setup(self):
+        amap = AddressMap(64 * KB, shadow_entries=16)
+        nvm = NvmDevice(capacity_bytes=amap.total_bytes)
+        wpq = WritePendingQueue(nvm)
+        mac = MacEngine.generate(np.random.default_rng(1))
+        manager = ShadowManager(amap, nvm, mac, AnubisShadowCodec())
+        return amap, nvm, wpq, manager
+
+    def test_write_and_read_entry(self, setup):
+        amap, nvm, wpq, manager = setup
+        manager.write_entry(3, record(address=amap.node_addr(1, 0)), wpq)
+        wpq.drain_all()
+        raw, touched = manager.read_raw_entry(3)
+        assert touched
+        (decoded,) = manager.codec.decode_candidates(raw)
+        assert decoded.address == amap.node_addr(1, 0)
+
+    def test_unwritten_entry_untouched(self, setup):
+        *_, manager = setup
+        raw, touched = manager.read_raw_entry(7)
+        assert raw is None and not touched
+
+    def test_tree_root_tracks_writes(self, setup):
+        amap, nvm, wpq, manager = setup
+        root0 = manager.tree.root
+        manager.write_entry(0, record(address=amap.node_addr(1, 1)), wpq)
+        assert manager.tree.root != root0
+
+    def test_rebuild_matches_incremental_root(self, setup):
+        amap, nvm, wpq, manager = setup
+        entries = {}
+        for slot in (0, 5, 9):
+            r = record(address=amap.node_addr(1, slot % amap.level_sizes[0]))
+            manager.write_entry(slot, r, wpq)
+            entries[slot] = manager.codec.encode(r)
+        assert manager.rebuild_tree_root(entries) == manager.tree.root
+
+    def test_non_functional_mode_skips_tree(self):
+        amap = AddressMap(64 * KB, shadow_entries=16)
+        nvm = NvmDevice(capacity_bytes=amap.total_bytes)
+        wpq = WritePendingQueue(nvm)
+        mac = MacEngine.generate(np.random.default_rng(2))
+        manager = ShadowManager(
+            amap, nvm, mac, AnubisShadowCodec(), functional=False
+        )
+        root0 = manager.tree.root
+        manager.write_entry(0, record(address=amap.node_addr(1, 0)), wpq)
+        assert manager.tree.root == root0  # timing mode: no hash work
+        assert manager.record_mac(0, b"x") == b"\x00" * 8
+
+    def test_requires_shadow_region(self):
+        amap = AddressMap(64 * KB)  # no shadow entries
+        nvm = NvmDevice(capacity_bytes=amap.total_bytes)
+        with pytest.raises(ValueError):
+            ShadowManager(amap, nvm, MacEngine.generate(), AnubisShadowCodec())

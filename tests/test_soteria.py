@@ -1,0 +1,376 @@
+"""Tests for Soteria: cloning policies, fault repair, shadow duplication."""
+
+import numpy as np
+import pytest
+
+from repro.constants import MAX_CLONE_DEPTH
+from repro.controller import (
+    IntegrityError,
+    RecoveryError,
+    SecureMemoryController,
+)
+from repro.controller.policy import CloningPolicy
+from repro.controller.shadow import KIND_NODE, ShadowRecord
+from repro.core import (
+    AggressiveCloning,
+    RelaxedCloning,
+    SoteriaShadowCodec,
+    UniformCloning,
+    make_controller,
+)
+from repro.recovery import RecoveryManager
+
+KB = 1024
+
+
+def make(scheme, seed=7, cache_kb=4, data_kb=256, **kwargs):
+    return make_controller(
+        scheme,
+        data_kb * KB,
+        metadata_cache_bytes=cache_kb * KB,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+def fill(ctrl, n=500, seed=0, stride=37):
+    rng = np.random.default_rng(seed)
+    written = {}
+    for i in range(n):
+        bi = (i * stride) % ctrl.num_data_blocks
+        data = bytes(int(x) for x in rng.integers(0, 256, 64))
+        ctrl.write(bi, data)
+        written[bi] = data
+    return written
+
+
+class TestCloningPolicies:
+    def test_baseline_depth_one_everywhere(self):
+        policy = CloningPolicy()
+        assert all(d == 1 for d in policy.depth_map(9).values())
+
+    def test_src_table2_row(self):
+        policy = RelaxedCloning()
+        assert policy.depth_map(9) == {level: 2 for level in range(1, 10)}
+
+    def test_sac_table2_row(self):
+        policy = AggressiveCloning()
+        expected = {1: 2, 2: 2, 3: 3, 4: 3, 5: 4, 6: 4, 7: 4, 8: 4, 9: 5}
+        assert policy.depth_map(9) == expected
+
+    def test_sac_caps_at_max_depth(self):
+        policy = AggressiveCloning()
+        depths = policy.depth_map(12)
+        assert depths[12] == MAX_CLONE_DEPTH
+        assert max(depths.values()) <= MAX_CLONE_DEPTH
+
+    def test_uniform_policy_validation(self):
+        with pytest.raises(ValueError):
+            UniformCloning(0)
+        with pytest.raises(ValueError):
+            UniformCloning(MAX_CLONE_DEPTH + 1)
+        assert UniformCloning(3).depth(1, 5) == 3
+
+    def test_level_bounds_checked(self):
+        with pytest.raises(ValueError):
+            RelaxedCloning().depth(0, 5)
+        with pytest.raises(ValueError):
+            AggressiveCloning().depth(6, 5)
+
+    def test_make_controller_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_controller("turbo", 64 * KB)
+
+
+class TestWpqAtomicityConstraint:
+    def test_clone_depth_beyond_wpq_is_unbuildable(self):
+        """Section 3.2.1's cap rationale: all copies commit atomically
+        through the WPQ, so depth > capacity fails the moment such a
+        node persists."""
+        from repro.controller import SecureMemoryController
+        from repro.memory import WpqFullError
+
+        ctrl = SecureMemoryController(
+            256 * KB,
+            clone_policy=UniformCloning(5),
+            metadata_cache_bytes=2 * KB,
+            wpq_entries=4,
+            functional_crypto=False,
+        )
+        with pytest.raises(WpqFullError):
+            for i in range(3000):
+                ctrl.write(i % ctrl.num_data_blocks, bytes(64))
+            ctrl.flush()
+
+    def test_max_depth_fits_minimum_wpq(self):
+        """Depth 5 + the up-to-3 writes of a secure write fit the
+        8-entry minimum WPQ — the exact arithmetic behind Table 2."""
+        from repro.constants import DEFAULT_WPQ_ENTRIES, MAX_CLONE_DEPTH
+
+        assert MAX_CLONE_DEPTH + 3 <= DEFAULT_WPQ_ENTRIES
+
+    def test_sac_runs_on_minimum_wpq(self):
+        ctrl = make("sac", cache_kb=1, data_kb=4096)
+        assert ctrl.wpq.capacity == 8
+        fill(ctrl, n=2000, stride=41)
+        ctrl.flush()
+        assert ctrl.verify_system() == []
+
+
+class TestCloneWrites:
+    def test_src_writes_one_clone_per_dirty_eviction(self):
+        base = make("baseline")
+        src = make("src")
+        for c in (base, src):
+            fill(c, n=800)
+        base_w = base.stats.nvm_writes_by_kind
+        src_w = src.stats.nvm_writes_by_kind
+        assert base_w.get("clone", 0) == 0
+        # One clone per counter/tree writeback (evictions + persists).
+        expected_clones = src_w["counter"] + src_w["tree"]
+        assert src_w["clone"] == expected_clones
+
+    def test_sac_writes_more_clones_than_src_only_for_upper_levels(self):
+        src = make("src", cache_kb=1)
+        sac = make("sac", cache_kb=1)
+        for c in (src, sac):
+            fill(c, n=3000, stride=61)
+        assert (
+            sac.stats.nvm_writes_by_kind["clone"]
+            >= src.stats.nvm_writes_by_kind["clone"]
+        )
+
+    def test_clone_region_contains_copies_after_flush(self):
+        src = make("src")
+        fill(src, n=300)
+        src.flush()
+        amap = src.amap
+        copied = 0
+        for index in range(amap.level_sizes[0]):
+            original = amap.node_addr(1, index)
+            if not src.nvm.is_touched(original):
+                continue
+            clone = amap.clone_addr(1, index, 1)
+            assert src.nvm.is_touched(clone)
+            assert src.nvm.read_block(clone) == src.nvm.read_block(original)
+            copied += 1
+        assert copied > 0
+
+    def test_data_path_results_identical_across_schemes(self):
+        written = {}
+        results = {}
+        for scheme in ("baseline", "src", "sac"):
+            ctrl = make(scheme, seed=5)
+            written = fill(ctrl, n=400, seed=9)
+            ctrl.flush()
+            results[scheme] = {bi: ctrl.read(bi).data for bi in written}
+        assert results["baseline"] == results["src"] == results["sac"]
+
+
+class TestFaultRepair:
+    """Figure 9: clone-based repair of corrupted metadata."""
+
+    def _corrupt_written_counter(self, ctrl):
+        for index in range(ctrl.amap.level_sizes[0]):
+            addr = ctrl.amap.node_addr(1, index)
+            if ctrl.nvm.is_touched(addr):
+                ctrl.nvm.flip_bits(addr, [9])
+                return index
+        raise AssertionError("no written counter block found")
+
+    def test_baseline_corrupt_counter_is_fatal(self):
+        ctrl = make("baseline")
+        fill(ctrl, n=400)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        index = self._corrupt_written_counter(ctrl)
+        with pytest.raises(IntegrityError):
+            ctrl.read(index * 64)
+
+    def test_src_repairs_corrupt_counter_from_clone(self):
+        ctrl = make("src")
+        written = fill(ctrl, n=400)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        index = self._corrupt_written_counter(ctrl)
+        target = next(bi for bi in written if bi // 64 == index)
+        assert ctrl.read(target).data == written[target]
+        assert ctrl.stats.clone_repairs == 1
+        # Purification rewrote the original: a second cold read is clean.
+        ctrl.metadata_cache.flush_all()
+        ctrl.wpq.drain_all()
+        assert ctrl.read(target).data == written[target]
+        assert ctrl.stats.clone_repairs == 1
+
+    def test_src_repairs_corrupt_tree_node(self):
+        ctrl = make("src", cache_kb=1)
+        written = fill(ctrl, n=3000, stride=31)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        target_index = None
+        for i in range(ctrl.amap.level_sizes[1]):
+            addr = ctrl.amap.node_addr(2, i)
+            if ctrl.nvm.is_touched(addr):
+                ctrl.nvm.flip_bits(addr, [3])
+                target_index = i
+                break
+        assert target_index is not None
+        covered = ctrl.amap.data_blocks_covered(2, target_index)
+        victim = next(bi for bi in written if bi in covered)
+        assert ctrl.read(victim).data == written[victim]
+        assert ctrl.stats.clone_repairs >= 1
+
+    def test_poisoned_original_repaired_from_clone(self):
+        ctrl = make("src")
+        written = fill(ctrl, n=300)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        index = next(
+            i
+            for i in range(ctrl.amap.level_sizes[0])
+            if ctrl.nvm.is_touched(ctrl.amap.node_addr(1, i))
+        )
+        addr = ctrl.amap.node_addr(1, index)
+        ctrl.nvm.poison_block(addr)
+        target = next(bi for bi in written if bi // 64 == index)
+        assert ctrl.read(target).data == written[target]
+        assert not ctrl.nvm.is_poisoned(addr)  # purified
+
+    def test_all_copies_corrupt_is_fatal_even_with_src(self):
+        ctrl = make("src")
+        fill(ctrl, n=300)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        index = self._corrupt_written_counter(ctrl)
+        ctrl.nvm.flip_bits(ctrl.amap.clone_addr(1, index, 1), [9])
+        with pytest.raises(IntegrityError):
+            ctrl.read(index * 64)
+
+    def test_sac_survives_more_copies_lost_on_upper_levels(self):
+        # 4MB of data -> 4 tree levels, so level 3 (SAC depth 3) exists.
+        ctrl = make("sac", cache_kb=1, data_kb=4096)
+        written = fill(ctrl, n=3000, stride=31)
+        ctrl.flush()
+        ctrl.metadata_cache.flush_all()
+        # Find a written level-3 node (SAC depth 3 there).
+        target_index = None
+        for i in range(ctrl.amap.level_sizes[2]):
+            addr = ctrl.amap.node_addr(3, i)
+            if ctrl.nvm.is_touched(addr):
+                target_index = i
+                break
+        assert target_index is not None
+        ctrl.nvm.flip_bits(ctrl.amap.node_addr(3, target_index), [1])
+        ctrl.nvm.flip_bits(ctrl.amap.clone_addr(3, target_index, 1), [2])
+        covered = ctrl.amap.data_blocks_covered(3, target_index)
+        victim = next(bi for bi in written if bi in covered)
+        assert ctrl.read(victim).data == written[victim]
+
+
+class TestSoteriaShadowCodec:
+    def test_encode_is_two_identical_halves(self):
+        codec = SoteriaShadowCodec()
+        record = ShadowRecord(
+            address=0x1000, kind=KIND_NODE, lsbs=(1, 2, 3, 4, 5, 6, 7, 8),
+            mac=b"mmmmmmmm",
+        )
+        raw = codec.encode(record)
+        assert len(raw) == 64
+        assert raw[:32] == raw[32:]
+
+    def test_decode_roundtrip(self):
+        codec = SoteriaShadowCodec()
+        record = ShadowRecord(
+            address=0x40, kind=KIND_NODE,
+            lsbs=(65535, 0, 1, 2, 3, 4, 5, 6), mac=b"12345678",
+        )
+        for candidate in codec.decode_candidates(codec.encode(record)):
+            assert candidate == record
+
+    def test_lsbs_masked_to_16_bits(self):
+        codec = SoteriaShadowCodec()
+        record = ShadowRecord(
+            address=0x40, kind=KIND_NODE,
+            lsbs=(0x12345,) * 8, mac=b"12345678",
+        )
+        decoded = codec.decode_candidates(codec.encode(record))[0]
+        assert decoded.lsbs == (0x2345,) * 8
+
+    def test_corrupt_half_still_decodable(self):
+        codec = SoteriaShadowCodec()
+        record = ShadowRecord(
+            address=0x80, kind=KIND_NODE, lsbs=(9,) * 8, mac=b"abcdefgh",
+        )
+        raw = bytearray(codec.encode(record))
+        raw[5] ^= 0xFF  # kill the first sub-entry
+        candidates = codec.decode_candidates(bytes(raw))
+        assert candidates[1] == record
+
+
+class TestShadowDuplicationRecovery:
+    @staticmethod
+    def _live_entry_addr(ctrl, image):
+        """Address of a shadow slot holding a live (non-tombstone)
+        record — corrupting a tombstone is repairable by design."""
+        codec = ctrl.shadow_codec
+        for slot in range(ctrl.amap.shadow_entries):
+            addr = ctrl.amap.shadow_entry_addr(slot)
+            if not image.nvm.is_touched(addr):
+                continue
+            raw = image.nvm.read_block(addr)
+            if any(not r.is_empty for r in codec.decode_candidates(raw)):
+                return addr
+        raise AssertionError("no live shadow entry found")
+
+    def _crash_with_corrupt_entry(self, scheme, bit):
+        ctrl = make(scheme, seed=33)
+        rng = np.random.default_rng(44)
+        for _ in range(800):
+            bi = int(rng.integers(0, ctrl.num_data_blocks))
+            ctrl.write(bi, bytes(int(x) for x in rng.integers(0, 256, 64)))
+        image = ctrl.crash()
+        image.nvm.flip_bits(self._live_entry_addr(ctrl, image), [bit])
+        return image
+
+    # Bit positions chosen to hit fields that matter: byte 56 is the
+    # MAC in the Anubis layout; byte 24 is the MAC of Soteria's first
+    # sub-entry (addr 8 + lsbs 16 + mac 8 per 32-byte half).
+    def test_baseline_corrupt_shadow_entry_fails(self):
+        image = self._crash_with_corrupt_entry("baseline", bit=56 * 8 + 3)
+        with pytest.raises(RecoveryError):
+            RecoveryManager(image).recover()
+
+    def test_soteria_corrupt_shadow_entry_recovers(self):
+        image = self._crash_with_corrupt_entry("src", bit=24 * 8 + 3)
+        recovered, report = RecoveryManager(image).recover()
+        assert report.repaired_entries >= 1
+        assert recovered.verify_system() == []
+
+    def test_soteria_corrupt_second_half_recovers(self):
+        image = self._crash_with_corrupt_entry("src", bit=(32 + 24) * 8 + 5)
+        recovered, report = RecoveryManager(image).recover()
+        assert report.repaired_entries >= 1
+        assert recovered.verify_system() == []
+
+    def test_soteria_both_halves_corrupt_fails(self):
+        image = self._crash_with_corrupt_entry("src", bit=24 * 8 + 5)
+        # Also corrupt the duplicate sub-entry's MAC in the same block.
+        ctrl_map_probe = make("src", seed=33)
+        target = self._live_entry_addr(ctrl_map_probe, image)
+        image.nvm.flip_bits(target, [(32 + 24) * 8 + 5])
+        with pytest.raises(RecoveryError):
+            RecoveryManager(image).recover()
+
+    def test_full_crash_recovery_src_and_sac(self):
+        for scheme in ("src", "sac"):
+            ctrl = make(scheme, seed=55)
+            rng = np.random.default_rng(66)
+            expect = {}
+            for _ in range(1200):
+                bi = int(rng.integers(0, ctrl.num_data_blocks))
+                data = bytes(int(x) for x in rng.integers(0, 256, 64))
+                ctrl.write(bi, data)
+                expect[bi] = data
+            recovered, __ = RecoveryManager(ctrl.crash()).recover()
+            for bi, data in expect.items():
+                assert recovered.read(bi).data == data

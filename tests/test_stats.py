@@ -1,0 +1,93 @@
+"""Unit tests for controller statistics and simulation results."""
+
+import pytest
+
+from repro.controller.stats import ControllerStats, OpCost
+from repro.sim.stats import SimResult
+
+
+class TestOpCost:
+    def test_add(self):
+        a = OpCost(blocking_reads=2, posted_writes=3)
+        b = OpCost(blocking_reads=1, posted_writes=4)
+        a.add(b)
+        assert a.blocking_reads == 3
+        assert a.posted_writes == 7
+
+    def test_defaults(self):
+        cost = OpCost()
+        assert cost.blocking_reads == 0
+        assert cost.posted_writes == 0
+
+
+class TestControllerStats:
+    def test_traffic_totals(self):
+        stats = ControllerStats()
+        stats.record_read("data", 3)
+        stats.record_read("counter")
+        stats.record_write("shadow", 2)
+        assert stats.total_nvm_reads == 4
+        assert stats.total_nvm_writes == 2
+        assert stats.nvm_reads_by_kind["data"] == 3
+
+    def test_eviction_fraction_excludes_mac_level(self):
+        stats = ControllerStats()
+        stats.evictions_by_level[0] = 100  # data-MAC blocks
+        stats.evictions_by_level[1] = 30
+        stats.evictions_by_level[2] = 10
+        fractions = stats.eviction_fractions()
+        assert set(fractions) == {1, 2}
+        assert fractions[1] == pytest.approx(0.75)
+
+    def test_eviction_fractions_empty(self):
+        assert ControllerStats().eviction_fractions() == {}
+
+    def test_evictions_per_request(self):
+        stats = ControllerStats()
+        stats.data_reads = 60
+        stats.data_writes = 40
+        stats.evictions_by_level[1] = 5
+        stats.evictions_by_level[0] = 500  # must not count
+        assert stats.evictions_per_request() == pytest.approx(0.05)
+
+    def test_evictions_per_request_no_traffic(self):
+        assert ControllerStats().evictions_per_request() == 0.0
+
+
+class TestSimResult:
+    def _result(self, **overrides):
+        base = dict(
+            workload="w",
+            scheme="baseline",
+            instructions=1000,
+            memory_requests=100,
+            cpu_cycles=2000.0,
+            channel_busy_ns=500.0,
+            exec_time_ns=1000.0,
+            nvm_reads=50,
+            nvm_writes=80,
+        )
+        base.update(overrides)
+        return SimResult(**base)
+
+    def test_ipc(self):
+        assert self._result().ipc == pytest.approx(0.5)
+        assert self._result(cpu_cycles=0.0).ipc == 0.0
+
+    def test_slowdown(self):
+        base = self._result()
+        slower = self._result(exec_time_ns=1100.0)
+        assert slower.slowdown_vs(base) == pytest.approx(0.10)
+        assert base.slowdown_vs(self._result(exec_time_ns=0.0)) == 0.0
+
+    def test_write_overhead(self):
+        base = self._result()
+        heavier = self._result(nvm_writes=84)
+        assert heavier.write_overhead_vs(base) == pytest.approx(0.05)
+        assert base.write_overhead_vs(self._result(nvm_writes=0)) == 0.0
+
+    def test_evictions_per_request(self):
+        result = self._result(evictions_by_level={0: 99, 1: 3, 2: 1})
+        assert result.evictions_per_request == pytest.approx(0.04)
+        empty = self._result(memory_requests=0)
+        assert empty.evictions_per_request == 0.0

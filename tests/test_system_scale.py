@@ -1,0 +1,95 @@
+"""Tests for fleet-scale reliability projections."""
+
+import pytest
+
+from repro.analysis import (
+    compare_fleet,
+    max_protected_nodes,
+    node_loss_probability,
+    project_fleet,
+)
+
+TB = 1 << 40
+#: Per-block uncorrectability in the low-FIT regime (FIT ~5), where the
+#: scheme contrast is starkest: a 1TB tree has ~3e8 metadata blocks, so
+#: the baseline already expects ~30 lost nodes per memory while
+#: Soteria's squared probabilities stay negligible.
+P = 1e-7
+
+
+class TestNodeLossProbability:
+    def test_baseline_much_higher_than_soteria(self):
+        base = node_loss_probability(P, TB, "baseline")
+        src = node_loss_probability(P, TB, "src")
+        sac = node_loss_probability(P, TB, "sac")
+        assert base > src >= sac
+        assert base / src > 1e4
+
+    def test_zero_probability(self):
+        assert node_loss_probability(0.0, TB, "baseline") == 0.0
+
+    def test_bounded(self):
+        assert 0 <= node_loss_probability(0.5, TB, "baseline") <= 1
+
+    def test_p_multi_override(self):
+        independent = node_loss_probability(P, TB, "src")
+        correlated = node_loss_probability(
+            P, TB, "src", p_multi_due={1: P, 2: P / 2, 3: P / 2, 4: P / 2, 5: P / 2}
+        )
+        assert correlated > independent
+
+
+class TestProjectFleet:
+    def test_projection_fields(self):
+        proj = project_fleet(P, "baseline", nodes=1000)
+        assert proj.nodes == 1000
+        assert proj.fleet_bytes == 1000 * TB
+        assert proj.expected_unverifiable_bytes > 0
+        assert 0 < proj.p_any_loss <= 1
+
+    def test_fleet_loss_scales_with_nodes(self):
+        small = project_fleet(P, "src", nodes=100)
+        large = project_fleet(P, "src", nodes=10_000)
+        ratio = (
+            large.expected_unverifiable_bytes
+            / small.expected_unverifiable_bytes
+        )
+        assert ratio == pytest.approx(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_fleet(P, "baseline", nodes=0)
+
+    def test_compare_fleet_ordering(self):
+        fleet = compare_fleet(P, nodes=20_000)
+        assert (
+            fleet["baseline"].p_any_loss
+            > fleet["src"].p_any_loss
+            >= fleet["sac"].p_any_loss
+        )
+        # At this rate the baseline fleet essentially certainly loses
+        # something, while Soteria fleets stay quiet.
+        assert fleet["baseline"].p_any_loss > 0.99
+        assert fleet["src"].p_any_loss < 0.1
+        assert fleet["sac"].p_any_loss < 0.1
+
+
+class TestMaxProtectedNodes:
+    def test_soteria_protects_vastly_larger_fleets(self):
+        base = max_protected_nodes(P, "baseline")
+        src = max_protected_nodes(P, "src")
+        assert src / base > 1e4
+
+    def test_infinite_when_no_errors(self):
+        assert max_protected_nodes(0.0, "sac") == float("inf")
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            max_protected_nodes(P, "src", loss_budget=0)
+        with pytest.raises(ValueError):
+            max_protected_nodes(P, "src", loss_budget=1)
+
+    def test_budget_monotone(self):
+        tight = max_protected_nodes(P, "src", loss_budget=0.001)
+        loose = max_protected_nodes(P, "src", loss_budget=0.1)
+        assert loose > tight

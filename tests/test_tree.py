@@ -1,0 +1,181 @@
+"""Tests for ToC authentication and the Bonsai Merkle tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counters import SplitCounterBlock, TocNode
+from repro.crypto import MacEngine, Prf
+from repro.tree import BonsaiMerkleTree, TocAuthenticator
+
+
+@pytest.fixture
+def mac():
+    return MacEngine.generate(np.random.default_rng(3))
+
+
+@pytest.fixture
+def auth(mac):
+    return TocAuthenticator(mac)
+
+
+class TestTocAuthenticator:
+    def test_seal_then_verify(self, auth):
+        node = TocNode(counters=[1, 0, 2, 0, 0, 0, 0, 0])
+        auth.seal_node(2, 7, node, parent_counter=5)
+        assert auth.verify_node(2, 7, node, parent_counter=5)
+
+    def test_tampered_counter_detected(self, auth):
+        node = TocNode()
+        auth.seal_node(2, 0, node, parent_counter=0)
+        node.counters[3] = 99
+        assert not auth.verify_node(2, 0, node, parent_counter=0)
+
+    def test_stale_parent_counter_detected(self, auth):
+        """Replaying an old node after the parent advanced fails — the
+        freshness property of the ToC."""
+        node = TocNode(counters=[4] * 8)
+        auth.seal_node(3, 1, node, parent_counter=10)
+        old = node.copy()
+        # Parent counter advances to 11; old copy must no longer verify.
+        assert not auth.verify_node(3, 1, old, parent_counter=11)
+
+    def test_relocation_detected(self, auth):
+        """A sealed node moved to another index or level fails."""
+        node = TocNode(counters=[1] * 8)
+        auth.seal_node(2, 5, node, parent_counter=3)
+        assert not auth.verify_node(2, 6, node, parent_counter=3)
+        assert not auth.verify_node(3, 5, node, parent_counter=3)
+
+    def test_counter_block_roundtrip(self, auth):
+        block = SplitCounterBlock(major=2, minors=[1] + [0] * 63)
+        tag = auth.counter_block_mac(4, block, parent_counter=7)
+        assert auth.verify_counter_block(4, block, tag, parent_counter=7)
+
+    def test_counter_block_tamper_detected(self, auth):
+        block = SplitCounterBlock()
+        tag = auth.counter_block_mac(0, block, parent_counter=0)
+        block.increment(0)
+        assert not auth.verify_counter_block(0, block, tag, parent_counter=0)
+
+    def test_counter_block_replay_detected(self, auth):
+        block = SplitCounterBlock()
+        old_tag = auth.counter_block_mac(0, block, parent_counter=0)
+        # Parent advanced (e.g., after this block's eviction was recorded).
+        assert not auth.verify_counter_block(0, block, old_tag, parent_counter=1)
+
+    def test_distinct_keys_distinct_macs(self):
+        a1 = TocAuthenticator(MacEngine(Prf(b"a" * 32)))
+        a2 = TocAuthenticator(MacEngine(Prf(b"b" * 32)))
+        node = TocNode()
+        assert a1.node_mac(2, 0, node, 0) != a2.node_mac(2, 0, node, 0)
+
+
+class TestBonsaiMerkleTree:
+    @pytest.fixture
+    def tree(self, mac):
+        return BonsaiMerkleTree(num_leaves=20, mac_engine=mac)
+
+    def test_level_structure(self, tree):
+        # 20 leaves -> 3 hash nodes -> 1 top.
+        assert tree.level_sizes == [3, 1]
+        assert tree.num_levels == 2
+
+    def test_update_then_verify(self, tree):
+        tree.update_leaf(5, b"hello")
+        assert tree.verify_leaf(5, b"hello")
+        assert not tree.verify_leaf(5, b"world")
+
+    def test_root_changes_on_update(self, tree):
+        r0 = tree.root
+        tree.update_leaf(0, b"x")
+        r1 = tree.root
+        assert r0 != r1
+        tree.update_leaf(19, b"y")
+        assert tree.root != r1
+
+    def test_unrelated_leaf_still_verifies(self, tree):
+        tree.update_leaf(0, b"a")
+        tree.update_leaf(9, b"b")
+        assert tree.verify_leaf(0, b"a")
+        assert tree.verify_leaf(9, b"b")
+
+    def test_eager_update_keeps_root_current(self, tree):
+        """After every single update, verification against the root
+        succeeds immediately — the eager-update guarantee."""
+        for i in range(20):
+            tree.update_leaf(i, bytes([i]))
+            assert tree.verify_leaf(i, bytes([i]))
+
+    def test_corrupt_internal_node_detected(self, tree):
+        tree.update_leaf(2, b"data")
+        tree.corrupt_node(0, 0, b"\xff" * 64)
+        assert not tree.verify_leaf(2, b"data")
+
+    def test_rebuild_from_leaves_restores(self, tree, mac):
+        leaves = [bytes([i]) * 8 for i in range(20)]
+        for i, leaf in enumerate(leaves):
+            tree.update_leaf(i, leaf)
+        root_before = tree.root
+        tree.corrupt_node(0, 1, b"\x00" * 64)
+        tree.rebuild_from_leaves(leaves)
+        assert tree.root == root_before
+        assert all(tree.verify_leaf(i, leaf) for i, leaf in enumerate(leaves))
+
+    def test_rebuild_wrong_count_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.rebuild_from_leaves([b""] * 19)
+
+    def test_single_leaf_tree(self, mac):
+        tree = BonsaiMerkleTree(num_leaves=1, mac_engine=mac)
+        tree.update_leaf(0, b"only")
+        assert tree.verify_leaf(0, b"only")
+
+    def test_deep_tree(self, mac):
+        tree = BonsaiMerkleTree(num_leaves=100, mac_engine=mac)
+        assert tree.level_sizes == [13, 2, 1]
+        tree.update_leaf(99, b"edge")
+        assert tree.verify_leaf(99, b"edge")
+
+    def test_bounds(self, tree):
+        with pytest.raises(IndexError):
+            tree.update_leaf(20, b"")
+        with pytest.raises(IndexError):
+            tree.verify_leaf(-1, b"")
+        with pytest.raises(ValueError):
+            BonsaiMerkleTree(num_leaves=0, mac_engine=None)
+        with pytest.raises(ValueError):
+            tree.corrupt_node(0, 0, b"short")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=19), st.binary(max_size=16)),
+            max_size=50,
+        )
+    )
+    def test_property_last_write_wins(self, updates):
+        tree = BonsaiMerkleTree(num_leaves=20, mac_engine=MacEngine(Prf(b"t" * 32)))
+        latest = {}
+        for index, data in updates:
+            tree.update_leaf(index, data)
+            latest[index] = data
+        for index, data in latest.items():
+            assert tree.verify_leaf(index, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=80),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_rebuild_equals_incremental(self, n, seed):
+        rng = np.random.default_rng(seed)
+        leaves = [bytes(int(b) for b in rng.integers(0, 256, 8)) for _ in range(n)]
+        mac = MacEngine(Prf(b"r" * 32))
+        incremental = BonsaiMerkleTree(num_leaves=n, mac_engine=mac)
+        for i, leaf in enumerate(leaves):
+            incremental.update_leaf(i, leaf)
+        rebuilt = BonsaiMerkleTree(num_leaves=n, mac_engine=mac)
+        rebuilt.rebuild_from_leaves(leaves)
+        assert rebuilt.root == incremental.root

@@ -1,0 +1,115 @@
+"""Tests for the eager vs lazy tree-update policies (Section 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.controller import SecureMemoryController
+from repro.recovery import RecoveryManager
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make(policy, data_bytes=4 * MB, cache_kb=16, seed=3):
+    return SecureMemoryController(
+        data_bytes,
+        metadata_cache_bytes=cache_kb * KB,
+        update_policy=policy,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def storm(ctrl, ops=800, seed=9):
+    rng = np.random.default_rng(seed)
+    expect = {}
+    for _ in range(ops):
+        block = int(rng.integers(0, ctrl.num_data_blocks))
+        data = bytes(int(x) for x in rng.integers(0, 256, 64))
+        ctrl.write(block, data)
+        expect[block] = data
+    return expect
+
+
+class TestEagerUpdates:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            make("sometimes")
+
+    def test_roundtrip(self):
+        ctrl = make("eager")
+        expect = storm(ctrl, ops=400)
+        for block, data in expect.items():
+            assert ctrl.read(block).data == data
+
+    def test_eager_writes_whole_branch_per_write(self):
+        """One isolated write persists data + MAC + counter + sidecar +
+        every tree level above — the eager write amplification."""
+        ctrl = make("eager")
+        ctrl.write(0, bytes(64))
+        w = ctrl.stats.nvm_writes_by_kind
+        num_levels = ctrl.amap.num_levels
+        assert w["data"] == 1
+        assert w["mac"] == 1
+        assert w["counter"] == 1
+        assert w["tree"] == num_levels - 1
+        assert w.get("shadow", 0) == 0  # no tracking needed
+
+    def test_eager_nvm_never_stale(self):
+        """After any write burst the NVM copy of every touched counter
+        equals the cached copy (no dirty metadata anywhere)."""
+        ctrl = make("eager")
+        storm(ctrl, ops=300)
+        ctrl.wpq.drain_all()
+        dirty = [1 for *_, d in ctrl.metadata_cache.resident() if d]
+        assert not dirty
+
+    def test_eager_crash_needs_no_recovery_work(self):
+        ctrl = make("eager")
+        expect = storm(ctrl, ops=500)
+        image = ctrl.crash()
+        recovered, report = RecoveryManager(image).recover()
+        assert report.entries_scanned == 0
+        assert report.counters_recovered == 0
+        for block, data in expect.items():
+            assert recovered.read(block).data == data
+
+    def test_eager_more_writes_than_lazy_on_deep_tree(self):
+        """The paper's reason for lazy update: eager write traffic
+        scales with tree depth."""
+        eager = make("eager", data_bytes=16 * MB, cache_kb=64)
+        lazy = make("lazy", data_bytes=16 * MB, cache_kb=64)
+        for ctrl in (eager, lazy):
+            rng = np.random.default_rng(4)
+            for _ in range(600):
+                block = int(rng.integers(0, ctrl.num_data_blocks))
+                ctrl.write(block, bytes(64))
+        assert eager.stats.total_nvm_writes > 1.3 * lazy.stats.total_nvm_writes
+
+    def test_eager_verifies_cleanly(self):
+        ctrl = make("eager")
+        storm(ctrl, ops=300)
+        assert ctrl.verify_system() == []
+
+    def test_eager_with_cloning(self):
+        from repro.core import make_controller
+
+        ctrl = make_controller(
+            "src",
+            4 * MB,
+            metadata_cache_bytes=16 * KB,
+            update_policy="eager",
+            rng=np.random.default_rng(1),
+        )
+        expect = storm(ctrl, ops=300)
+        # Clones are written on every persist in eager mode.
+        assert ctrl.stats.nvm_writes_by_kind["clone"] > 0
+        for block, data in expect.items():
+            assert ctrl.read(block).data == data
+
+    def test_crash_image_preserves_policy(self):
+        ctrl = make("eager")
+        storm(ctrl, ops=50)
+        image = ctrl.crash()
+        assert image.update_policy == "eager"
+        recovered, __ = RecoveryManager(image).recover()
+        assert recovered.update_policy == "eager"
