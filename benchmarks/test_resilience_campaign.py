@@ -1,0 +1,49 @@
+"""Resilience campaign — empirical UDR under live fault injection.
+
+The analytical Figure 11 predicts Soteria's UDR advantage from
+end-of-life DUE probabilities; this bench measures the same quantity
+*online*: faults strike a running controller, the scrubber and clone
+repair race demand traffic, and whatever data ends up unverifiable is
+counted directly.  The paper's headline (orders of magnitude between
+the secure baseline and SRC/SAC) must reproduce empirically, and the
+campaign's no-silent-corruption audit must hold throughout.
+"""
+
+from repro.faults import CampaignConfig, run_campaign
+
+
+def test_resilience_campaign(benchmark):
+    config = CampaignConfig(
+        ops=2000,
+        num_faults=6,
+        targets=("counter", "tree", "counter_mac"),
+        scrub_intervals=(0, 250),
+    )
+    report = benchmark.pedantic(
+        lambda: run_campaign(config), rounds=1, iterations=1
+    )
+
+    print("\nResilience campaign — empirical UDR "
+          f"({len(report.runs)} runs, {config.num_faults} faults each)")
+    print(f"{'scheme':>9} {'mean UDR':>10} {'max UDR':>9} {'repairs':>8} "
+          f"{'quarantined':>12}")
+    for scheme, s in report.schemes.items():
+        print(f"{scheme:>9} {s['mean_empirical_udr']:>10.4f} "
+              f"{s['max_empirical_udr']:>9.4f} {s['total_repairs']:>8} "
+              f"{s['quarantined_bytes']:>10} B")
+    for scheme, r in report.resilience.items():
+        ratio = r["baseline_over_scheme"]
+        print(f"baseline / {scheme}: "
+              f"{'inf' if ratio is None else f'{ratio:.1f}'}x")
+    print("paper: SRC/SAC are 2.5e3x / 3.7e4x more resilient (analytic)")
+
+    # The invariant is the experiment: nothing silently corrupted.
+    assert report.invariant_ok
+    # Faults landed and the baseline lost real coverage...
+    assert report.schemes["baseline"]["mean_empirical_udr"] > 0
+    # ...while Soteria repaired or contained the same injections.
+    for scheme in ("src", "sac"):
+        assert report.resilience[scheme]["ge_10x"]
+    # Scrubbing and clone repair actually fired during the sweep.
+    assert report.schemes["src"]["total_repairs"] > 0
+    assert report.schemes["sac"]["total_repairs"] > 0

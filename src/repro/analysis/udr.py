@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.expected_loss import level_inventory
-from repro.constants import CACHELINE_BYTES
 
 
 @dataclass

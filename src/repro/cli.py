@@ -94,7 +94,8 @@ def cmd_reliability(args) -> int:
     for fit in args.fits:
         sim = FaultSimulator(
             FaultSimConfig(
-                fit_per_device=fit, trials=args.trials, repair=args.ecc
+                fit_per_device=fit, trials=args.trials, repair=args.ecc,
+                seed=args.seed,
             )
         )
         result = sim.run(trials_per_k=max(500, args.trials // 8))
@@ -107,7 +108,7 @@ def cmd_reliability(args) -> int:
     if args.decompose:
         sim = FaultSimulator(
             FaultSimConfig(fit_per_device=args.fits[-1], trials=args.trials,
-                           repair=args.ecc)
+                           repair=args.ecc, seed=args.seed)
         )
         result = sim.run(trials_per_k=max(500, args.trials // 8))
         print(f"\nloss decomposition at FIT {args.fits[-1]}:")
@@ -115,6 +116,50 @@ def cmd_reliability(args) -> int:
             print(f"  {scheme:>11}: L_total {d.l_total_bytes / (1 << 20):8.2f} MB "
                   f"({d.inflation:.2f}x vs non-secure)")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.faults import (
+        CampaignConfig,
+        SilentCorruptionError,
+        run_campaign,
+    )
+
+    config = CampaignConfig(
+        data_bytes=_parse_size(args.size),
+        ops=args.ops,
+        num_faults=args.faults,
+        seed=args.seed,
+        schemes=tuple(args.schemes),
+        targets=tuple(args.targets),
+        scrub_intervals=tuple(args.scrub_intervals),
+        mode=args.mode,
+        enforce_invariant=not args.no_enforce,
+    )
+    try:
+        report = run_campaign(config)
+    except SilentCorruptionError as exc:
+        print(f"INVARIANT VIOLATED: {exc}")
+        return 1
+
+    print(f"{'scheme':>9} {'runs':>5} {'mean UDR':>10} {'max UDR':>9} "
+          f"{'repairs':>8} {'quarantined':>12} {'violations':>11}")
+    for scheme, s in report.schemes.items():
+        print(f"{scheme:>9} {s['runs']:>5} {s['mean_empirical_udr']:>10.4f} "
+              f"{s['max_empirical_udr']:>9.4f} {s['total_repairs']:>8} "
+              f"{s['quarantined_bytes']:>10} B {s['violations']:>11}")
+    for scheme, r in report.resilience.items():
+        ratio = r["baseline_over_scheme"]
+        ratio_text = "inf" if ratio is None else f"{ratio:.1f}x"
+        print(f"baseline vs {scheme}: {ratio_text} "
+              f"({'>=10x: yes' if r['ge_10x'] else '>=10x: NO'})")
+    print(f"no-silent-corruption invariant: "
+          f"{'HELD' if report.invariant_ok else 'VIOLATED'}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.out}")
+    return 0 if report.invariant_ok else 1
 
 
 def cmd_figures(args) -> int:
@@ -211,7 +256,35 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["chipkill", "chipkill2", "secded", "none"])
     p.add_argument("--decompose", action="store_true",
                    help="print the Figure 12 loss decomposition")
+    p.add_argument("--seed", type=int, default=2021,
+                   help="Monte-Carlo seed (same seed -> same table)")
     p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser(
+        "chaos",
+        help="online fault-injection campaign with scrubbing + quarantine",
+    )
+    p.add_argument("--size", default="64kb",
+                   help="protected data size per run (default 64kb)")
+    p.add_argument("--ops", type=int, default=3000,
+                   help="workload operations per run")
+    p.add_argument("--faults", type=int, default=6,
+                   help="injected fault events per run")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--schemes", nargs="+", default=["baseline", "src", "sac"],
+                   choices=list(SCHEMES))
+    p.add_argument("--targets", nargs="+",
+                   default=["counter", "tree", "counter_mac"],
+                   help="layout regions to poison (see INJECTION_TARGETS)")
+    p.add_argument("--scrub-intervals", type=int, nargs="+",
+                   default=[0, 250],
+                   help="ops between scrub passes; 0 disables scrubbing")
+    p.add_argument("--mode", default="direct", choices=["direct", "ecc"])
+    p.add_argument("--out", default=None,
+                   help="write the JSON resilience report here")
+    p.add_argument("--no-enforce", action="store_true",
+                   help="report violations instead of raising")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="regenerate all paper figures as CSV")
     p.add_argument("--out", default="results",

@@ -3,11 +3,14 @@
 from repro.controller.errors import (
     DataPoisonedError,
     IntegrityError,
+    QuarantinedError,
     RecoveryError,
     SecureMemoryError,
 )
 from repro.controller.payloads import CounterEntry, MacBlockEntry, NodeEntry
 from repro.controller.policy import CloningPolicy
+from repro.controller.quarantine import QuarantineEntry, QuarantineRegistry
+from repro.controller.scrubber import MetadataScrubber, ScrubReport
 from repro.controller.secure_controller import (
     CrashImage,
     ReadResult,
@@ -31,10 +34,15 @@ __all__ = [
     "DataPoisonedError",
     "IntegrityError",
     "MacBlockEntry",
+    "MetadataScrubber",
     "NodeEntry",
     "OpCost",
+    "QuarantineEntry",
+    "QuarantineRegistry",
+    "QuarantinedError",
     "ReadResult",
     "RecoveryError",
+    "ScrubReport",
     "SecureMemoryController",
     "SecureMemoryError",
     "ShadowManager",

@@ -38,5 +38,25 @@ class IntegrityError(SecureMemoryError):
         self.reason = reason
 
 
+class QuarantinedError(SecureMemoryError):
+    """Access to an address range under quarantine (degraded mode).
+
+    Raised instead of :class:`IntegrityError` when the controller runs
+    with quarantine enabled: the metadata covering the range is dead
+    (every stored copy failed), the range has been recorded in the
+    quarantine registry, and the rest of memory keeps being served.
+    """
+
+    def __init__(self, address: int, level: int, index: int, reason: str):
+        super().__init__(
+            f"address {address:#x} quarantined (level {level}, index "
+            f"{index}): {reason}"
+        )
+        self.address = address
+        self.level = level
+        self.index = index
+        self.reason = reason
+
+
 class RecoveryError(SecureMemoryError):
     """Post-crash recovery could not restore a consistent secure state."""

@@ -1,0 +1,155 @@
+"""Quarantine registry: degraded-mode bookkeeping for dead metadata.
+
+When every stored copy of a metadata node has taken an uncorrectable
+error, the data it covers is unverifiable — the paper's L_unverifiable.
+The baseline reaction is drop-and-lock: every access to the covered
+range re-walks the broken fetch chain and dies on an
+:class:`~repro.controller.errors.IntegrityError`.  With quarantine
+enabled the controller instead *records* the unverifiable range once
+and keeps serving the rest of memory; accesses that land inside a
+quarantined range fail fast with a typed
+:class:`~repro.controller.errors.QuarantinedError` and are counted in
+``ControllerStats.quarantined_accesses``.
+
+The registry is also the campaign runner's ground truth for the
+no-silent-corruption invariant: an injected DUE must end up repaired,
+raised, or listed here — never returned as valid data.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One unverifiable range, keyed by the metadata node that died."""
+
+    level: int              # 1 = counters, 2+ = tree, 0 = sidecar MACs
+    index: int              # node (or sidecar-block) index at that level
+    address: int            # NVM address of the dead node
+    first_block: int        # first covered data-block index
+    num_blocks: int         # covered data blocks
+    reason: str
+
+    @property
+    def data_bytes(self) -> int:
+        return self.num_blocks * 64
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "index": self.index,
+            "address": self.address,
+            "first_block": self.first_block,
+            "num_blocks": self.num_blocks,
+            "bytes": self.data_bytes,
+            "reason": self.reason,
+        }
+
+
+class QuarantineRegistry:
+    """Sorted interval set of unverifiable data-block ranges."""
+
+    def __init__(self, amap):
+        self._amap = amap
+        self._entries: dict = {}    # (level, index) -> QuarantineEntry
+        self._starts: list = []     # sorted first_block of each range
+        self._ranges: list = []     # (first_block, stop_block, entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    @property
+    def entries(self) -> list:
+        return sorted(self._entries.values(), key=lambda e: e.first_block)
+
+    def add_node(self, level: int, index: int, reason: str):
+        """Quarantine the coverage of a dead tree/counter node.
+
+        Returns the new entry, or ``None`` if (level, index) is already
+        quarantined.
+        """
+        covered = self._amap.data_blocks_covered(level, index)
+        return self.add_range(
+            level,
+            index,
+            self._amap.node_addr(level, index),
+            covered.start,
+            len(covered),
+            reason,
+        )
+
+    def add_range(
+        self,
+        level: int,
+        index: int,
+        address: int,
+        first_block: int,
+        num_blocks: int,
+        reason: str,
+    ):
+        """Quarantine an explicit data-block range (sidecar deaths)."""
+        key = (level, index)
+        if key in self._entries:
+            return None
+        entry = QuarantineEntry(
+            level=level,
+            index=index,
+            address=address,
+            first_block=first_block,
+            num_blocks=num_blocks,
+            reason=reason,
+        )
+        self._entries[key] = entry
+        position = bisect_right(self._starts, first_block)
+        self._starts.insert(position, first_block)
+        self._ranges.insert(
+            position, (first_block, first_block + num_blocks, entry)
+        )
+        return entry
+
+    def covering(self, block_index: int):
+        """The quarantine entry covering a data block, or ``None``.
+
+        Ranges nest (an upper-level node covers its children), so the
+        rightmost range starting at or before the block is checked
+        first, then earlier ranges that could still span it.
+        """
+        position = bisect_right(self._starts, block_index)
+        for start, stop, entry in reversed(self._ranges[:position]):
+            if block_index < stop:
+                return entry
+        return None
+
+    def covers(self, block_index: int) -> bool:
+        return self.covering(block_index) is not None
+
+    @property
+    def quarantined_data_bytes(self) -> int:
+        """Unverifiable bytes, counting overlapping ranges once."""
+        covered = 0
+        cursor = 0
+        for start, stop, _ in sorted(self._ranges):
+            start = max(start, cursor)
+            if stop > start:
+                covered += stop - start
+                cursor = stop
+        return covered * 64
+
+    def clear(self) -> None:
+        """Lift every quarantine (whole-memory re-keying)."""
+        self._entries.clear()
+        self._starts.clear()
+        self._ranges.clear()
+
+    def report(self) -> list:
+        """JSON-serializable listing of every quarantined range."""
+        return [entry.to_dict() for entry in self.entries]

@@ -1,0 +1,176 @@
+"""Background metadata scrubber with bounded retry/backoff.
+
+Hardware patrol scrubbers sweep DRAM/NVM in the background and repair
+correctable errors before a second strike turns them uncorrectable.
+:class:`MetadataScrubber` plays that role for security metadata: every
+``interval`` operations it sweeps the poisoned addresses the device
+reports, classifies each one by region, and asks the controller to
+repair it proactively (clone promotion, cache writeback, sidecar
+rebuild, BMT recomputation).
+
+A node that fails to repair is retried on later passes with exponential
+backoff; after ``max_retries`` failed attempts the scrubber gives up
+and quarantines the node's coverage, bounding the blast radius instead
+of letting a demand access discover the corpse first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.errors import SecureMemoryError
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass."""
+
+    pass_index: int
+    scanned: int = 0
+    repaired: int = 0
+    still_dead: int = 0
+    quarantined: int = 0
+    skipped_backoff: int = 0
+    details: list = field(default_factory=list)
+
+
+class MetadataScrubber:
+    """Periodic poison-directed scrubbing for one controller.
+
+    ``interval`` is the number of operations between passes when driven
+    through :meth:`tick` (0 disables automatic passes; :meth:`scrub`
+    can still be called directly).  A failed repair backs off
+    exponentially: after the n-th consecutive failure the node is
+    skipped for ``backoff ** n - 1`` passes before the next attempt,
+    and after ``max_retries`` failures its coverage is quarantined.
+    """
+
+    def __init__(
+        self,
+        controller,
+        interval: int = 1000,
+        max_retries: int = 3,
+        backoff: int = 2,
+    ):
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if backoff < 1:
+            raise ValueError("backoff must be >= 1")
+        self.controller = controller
+        self.interval = interval
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.passes = 0
+        self.total_repaired = 0
+        self.total_quarantined = 0
+        self._ops_since_scrub = 0
+        # key -> (consecutive failures, pass index of next attempt)
+        self._attempts: dict = {}
+        self._given_up: set = set()
+
+    # ------------------------------------------------------------------
+
+    def tick(self, ops: int = 1):
+        """Advance simulated time by ``ops`` operations; runs a pass
+        when the interval elapses.  Returns the report, or ``None``."""
+        if self.interval == 0:
+            return None
+        self._ops_since_scrub += ops
+        if self._ops_since_scrub < self.interval:
+            return None
+        self._ops_since_scrub = 0
+        return self.scrub()
+
+    def scrub(self) -> ScrubReport:
+        """Run one full pass over every currently-poisoned address."""
+        ctrl = self.controller
+        report = ScrubReport(pass_index=self.passes)
+        self.passes += 1
+        ctrl.stats.scrub_passes += 1
+        for key in self._targets():
+            if key in self._given_up:
+                continue
+            failures, next_attempt = self._attempts.get(key, (0, 0))
+            if report.pass_index < next_attempt:
+                report.skipped_backoff += 1
+                continue
+            report.scanned += 1
+            outcome = self._scrub_one(key)
+            report.details.append((key, outcome))
+            if outcome in ("repaired", "clean"):
+                if outcome == "repaired":
+                    report.repaired += 1
+                    self.total_repaired += 1
+                    ctrl.stats.scrub_repairs += 1
+                self._attempts.pop(key, None)
+                continue
+            failures += 1
+            if failures >= self.max_retries:
+                self._quarantine(key)
+                self._given_up.add(key)
+                self._attempts.pop(key, None)
+                report.quarantined += 1
+                self.total_quarantined += 1
+            else:
+                self._attempts[key] = (
+                    failures,
+                    report.pass_index + self.backoff ** failures,
+                )
+                report.still_dead += 1
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _targets(self):
+        """Scrub keys for every poisoned address, deduplicated.
+
+        Keys are ``(level, index)`` for counter/tree nodes (clone poison
+        maps back to its node) and ``("sidecar", index)`` for sidecar
+        MAC blocks and their copies.  Data-block poison is *not*
+        scrubbed: a poisoned data block is a plain DUE the paper charges
+        to L_error, surfaced as DataPoisonedError on access.
+        """
+        ctrl = self.controller
+        amap = ctrl.amap
+        keys = []
+        seen = set()
+        for address in sorted(ctrl.nvm.poisoned_addresses):
+            try:
+                region = amap.region_of(address)
+            except ValueError:
+                continue
+            if region[0] == "counter":
+                key = (1, region[1])
+            elif region[0] == "tree":
+                key = (region[1], region[2])
+            elif region[0] == "clone":
+                key = (region[1], region[2])
+            elif region[0] in ("counter_mac", "counter_mac_clone"):
+                key = ("sidecar", region[1])
+            else:
+                continue  # data / mac / shadow regions are not node-repairable
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def _scrub_one(self, key) -> str:
+        ctrl = self.controller
+        try:
+            if key[0] == "sidecar":
+                return ctrl.scrub_sidecar(key[1])
+            return ctrl.scrub_node(*key)
+        except SecureMemoryError:
+            # A probe tripping over *other* dead metadata (e.g. a dead
+            # parent) counts as a failed attempt for this node.
+            return "dead"
+
+    def _quarantine(self, key) -> None:
+        ctrl = self.controller
+        reason = f"scrubber gave up after {self.max_retries} attempts"
+        if key[0] == "sidecar":
+            ctrl.quarantine_node(0, key[1], reason)
+        else:
+            ctrl.quarantine_node(key[0], key[1], reason)

@@ -23,10 +23,12 @@ from repro.constants import MAC_BYTES, SPLIT_COUNTER_ARITY
 from repro.controller.errors import (
     DataPoisonedError,
     IntegrityError,
+    QuarantinedError,
     SecureMemoryError,
 )
 from repro.controller.payloads import CounterEntry, MacBlockEntry, NodeEntry
 from repro.controller.policy import CloningPolicy
+from repro.controller.quarantine import QuarantineRegistry
 from repro.controller.shadow import (
     KIND_COUNTER,
     KIND_EMPTY,
@@ -82,6 +84,7 @@ class CrashImage:
     osiris_limit: int
     update_policy: str = "lazy"
     integrity_mode: str = "toc"
+    quarantine: bool = False
 
 
 class SecureMemoryController:
@@ -101,6 +104,7 @@ class SecureMemoryController:
         functional_crypto: bool = True,
         update_policy: str = "lazy",
         integrity_mode: str = "toc",
+        quarantine: bool = False,
         rng=None,
         trusted: TrustedState = None,
     ):
@@ -134,11 +138,16 @@ class SecureMemoryController:
         self.integrity_mode = integrity_mode
 
         num_levels = len(tree_level_sizes(data_bytes // 64))
+        depth_map = self.clone_policy.depth_map(num_levels)
         self._mcache = MetadataCache(metadata_cache_bytes, metadata_ways)
         self.amap = AddressMap(
             data_bytes,
-            clone_depths=self.clone_policy.depth_map(num_levels),
+            clone_depths=depth_map,
             shadow_entries=self._mcache.num_slots,
+            # Sidecar MAC blocks inherit the counter level's redundancy:
+            # without copies of their MACs, cloned counters would still
+            # die with the sidecar (the layout's single point of failure).
+            counter_mac_depth=depth_map.get(1, 1),
         )
 
         if nvm is None:
@@ -175,6 +184,10 @@ class SecureMemoryController:
             functional=functional_crypto,
         )
         self.stats = ControllerStats()
+        #: Degraded-mode registry (None = classic drop-and-lock: a dead
+        #: node raises IntegrityError on every access it covers).
+        self.quarantine = QuarantineRegistry(self.amap) if quarantine else None
+        self._suppress_quarantine = False
         # Victim queue: dirty evictions are persisted from here *after*
         # the operation that caused them completes, never nested inside
         # another block's persist.  Without this, persisting node P can
@@ -200,12 +213,16 @@ class SecureMemoryController:
         cost = OpCost()
         self.stats.data_reads += 1
         address = self.amap.data_addr(block_index)
+        self._check_quarantine(block_index, address)
         entry = self._get_counter(self.amap.counter_index_of_data(block_index), cost)
         counter = entry.block.effective_counter(
             self.amap.counter_slot_of_data(block_index)
         )
 
-        if self.nvm.is_poisoned(address):
+        # A pending WPQ store is inside the ADR persistence domain and
+        # supersedes dead media cells (the drain rewrites the row and
+        # clears the poison), so only unforwarded reads see the DUE.
+        if self.nvm.is_poisoned(address) and self._wpq.lookup(address) is None:
             raise DataPoisonedError(address)
         ciphertext, touched = self._nvm_read(address, cost, "data")
         if not touched:
@@ -231,6 +248,7 @@ class SecureMemoryController:
         cost = OpCost()
         self.stats.data_writes += 1
         address = self.amap.data_addr(block_index)
+        self._check_quarantine(block_index, address)
         counter_index = self.amap.counter_index_of_data(block_index)
         slot = self.amap.counter_slot_of_data(block_index)
 
@@ -327,10 +345,22 @@ class SecureMemoryController:
         for block_index in range(self.num_data_blocks):
             if not self.nvm.is_touched(self.amap.data_addr(block_index)):
                 continue
-            result = self.read(block_index)  # verifies under old keys
+            try:
+                result = self.read(block_index)  # verifies under old keys
+            except SecureMemoryError:
+                # Unreadable under the old keys (poisoned, quarantined,
+                # or integrity-dead): the block is lost; re-keying wipes
+                # it so the new epoch starts clean.
+                self.stats.rekey_lost_blocks += 1
+                continue
             cost.add(result.cost)
             plaintexts[block_index] = result.data
-        self.flush()
+        try:
+            self.flush()
+        except SecureMemoryError:
+            # Dead metadata can make the final writeback fail; the whole
+            # estate is shredded next anyway.
+            self._wpq.drain_all()
 
         # Fresh keys and a clean metadata estate.
         self._prf = Prf.generate(rng)
@@ -349,9 +379,16 @@ class SecureMemoryController:
             functional=self.functional_crypto,
         )
         for address in self.nvm.touched_addresses():
-            region = self.amap.region_of(address)[0]
-            if region != "data":
+            region = self.amap.region_of(address)
+            if region[0] != "data":
                 self.nvm.erase_block(address)
+            elif region[1] not in plaintexts:
+                # Lost under the old keys: wipe rather than carry
+                # unreadable ciphertext into the new epoch.
+                self.nvm.erase_block(address)
+        if self.quarantine is not None:
+            self.quarantine.clear()
+            self.stats.quarantined_bytes = 0
 
         for block_index, data in sorted(plaintexts.items()):
             cost.add(self.write(block_index, data))
@@ -383,7 +420,73 @@ class SecureMemoryController:
             osiris_limit=self.osiris_limit,
             update_policy=self.update_policy,
             integrity_mode=self.integrity_mode,
+            quarantine=self.quarantine is not None,
         )
+
+    # ------------------------------------------------------------------
+    # degraded mode (quarantine)
+    # ------------------------------------------------------------------
+
+    def _check_quarantine(self, block_index: int, address: int) -> None:
+        """Fail fast on accesses into a quarantined range."""
+        if self.quarantine is None:
+            return
+        blocked = self.quarantine.covering(block_index)
+        if blocked is not None:
+            self.stats.quarantined_accesses += 1
+            raise QuarantinedError(
+                address, blocked.level, blocked.index, blocked.reason
+            )
+
+    def _metadata_dead(self, level: int, index: int, reason: str):
+        """A metadata node lost every copy.  With quarantine enabled the
+        covered range is recorded and a typed QuarantinedError surfaces;
+        otherwise the classic drop-and-lock IntegrityError."""
+        self.stats.integrity_failures += 1
+        address = self.amap.node_addr(level, index)
+        if self.quarantine is not None and not self._suppress_quarantine:
+            self.quarantine_node(level, index, reason)
+            raise QuarantinedError(address, level, index, reason)
+        raise IntegrityError(address, level, index, reason)
+
+    def quarantine_node(self, level: int, index: int, reason: str = "scrubber retries exhausted"):
+        """Record a metadata node's coverage as unverifiable.
+
+        ``level`` 0 addresses a sidecar MAC block by sidecar index.
+        Returns the registry entry, or ``None`` when quarantine is
+        disabled or the node is already quarantined.
+        """
+        if self.quarantine is None:
+            return None
+        if level == 0:
+            return self._quarantine_sidecar(index, reason)
+        entry = self.quarantine.add_node(level, index, reason)
+        if entry is not None:
+            self.stats.quarantined_nodes += 1
+            self.stats.quarantined_bytes = self.quarantine.quarantined_data_bytes
+        return entry
+
+    def _quarantine_sidecar(self, sidecar_index: int, reason: str):
+        """Quarantine the eight-counter span served by a sidecar block."""
+        macs_per_block = self.amap.block_size // MAC_BYTES
+        first_counter = sidecar_index * macs_per_block
+        first_block = first_counter * SPLIT_COUNTER_ARITY
+        num_blocks = min(
+            macs_per_block * SPLIT_COUNTER_ARITY,
+            self.num_data_blocks - first_block,
+        )
+        entry = self.quarantine.add_range(
+            0,
+            sidecar_index,
+            self.amap.counter_mac_offset + sidecar_index * self.amap.block_size,
+            first_block,
+            max(num_blocks, 0),
+            reason,
+        )
+        if entry is not None:
+            self.stats.quarantined_nodes += 1
+            self.stats.quarantined_bytes = self.quarantine.quarantined_data_bytes
+        return entry
 
     # ------------------------------------------------------------------
     # NVM traffic primitives
@@ -525,11 +628,8 @@ class SecureMemoryController:
             self.stats.bmt_recomputations += 1
             self._purify(level, index, rebuilt.to_bytes(), cost)
             return rebuilt
-        self.stats.integrity_failures += 1
-        raise IntegrityError(
-            self.amap.node_addr(level, index),
-            level,
-            index,
+        self._metadata_dead(
+            level, index,
             "copies failed and recomputation did not match parent digest",
         )
 
@@ -577,13 +677,7 @@ class SecureMemoryController:
             candidate = SplitCounterBlock.from_bytes(raw)
             self._purify(1, index, raw, cost)
             return candidate
-        self.stats.integrity_failures += 1
-        raise IntegrityError(
-            self.amap.node_addr(1, index),
-            1,
-            index,
-            "all copies failed verification",
-        )
+        self._metadata_dead(1, index, "all copies failed verification")
 
     # ------------------------------------------------------------------
     # ToC mode fetch chain
@@ -660,22 +754,39 @@ class SecureMemoryController:
                 continue
             self._purify(level, index, candidate.to_bytes(), cost)
             return candidate
-        self.stats.integrity_failures += 1
-        raise IntegrityError(
-            self.amap.node_addr(level, index),
-            level,
-            index,
-            "all copies failed verification",
-        )
+        self._metadata_dead(level, index, "all copies failed verification")
 
     def _repair_counter(
         self, index: int, stored_mac: bytes, parent_counter: int, cost: OpCost
-    ) -> SplitCounterBlock:
-        """Clone-based repair of a level-1 counter block."""
+    ):
+        """Clone-based repair of a level-1 counter block.
+
+        Every live copy of the counter is checked against every live
+        copy of its sidecar MAC — the sidecar itself may be the
+        corrupted party, in which case a counter copy only verifies
+        against a sidecar *clone*.  The first surviving pair wins; both
+        regions are purified from it.  Returns ``(block, mac)``.
+        """
+        sidecar_index = self._sidecar_index_of(index)
+        slot = self.amap.counter_mac_slot(index)
+        macs = [(stored_mac, None)]
+        for copy in range(1, self.amap.counter_mac_depth):
+            address = self.amap.counter_mac_clone_addr(sidecar_index, copy)
+            raw, _ = self._nvm_read(address, cost, "clone")
+            if self.nvm.is_poisoned(address):
+                continue
+            mac = raw[slot * MAC_BYTES:(slot + 1) * MAC_BYTES]
+            if mac != stored_mac:
+                macs.append((mac, raw))
         depth = self.amap.clone_depths.get(1, 1)
-        for copy in range(1, depth):
-            address = self.amap.clone_addr(1, index, copy)
-            raw, touched = self._nvm_read(address, cost, "clone")
+        for copy in range(depth):
+            if copy == 0:
+                address = self.amap.node_addr(1, index)
+                kind = "counter"
+            else:
+                address = self.amap.clone_addr(1, index, copy)
+                kind = "clone"
+            raw, touched = self._nvm_read(address, cost, kind)
             if self.nvm.is_poisoned(address):
                 continue
             candidate = (
@@ -683,19 +794,18 @@ class SecureMemoryController:
                 if not touched
                 else SplitCounterBlock.from_bytes(raw)
             )
-            if self.functional_crypto and not self._auth.verify_counter_block(
-                index, candidate, stored_mac, parent_counter
-            ):
-                continue
-            self._purify(1, index, candidate.to_bytes(), cost)
-            return candidate
-        self.stats.integrity_failures += 1
-        raise IntegrityError(
-            self.amap.node_addr(1, index),
-            1,
-            index,
-            "all copies failed verification",
-        )
+            for mac_position, (mac, sidecar_bytes) in enumerate(macs):
+                if copy == 0 and mac_position == 0:
+                    continue  # the pair that already failed in _get_counter
+                if self.functional_crypto and not self._auth.verify_counter_block(
+                    index, candidate, mac, parent_counter
+                ):
+                    continue
+                if sidecar_bytes is not None:
+                    self._purify_sidecar(sidecar_index, sidecar_bytes, cost)
+                self._purify(1, index, candidate.to_bytes(), cost)
+                return candidate, mac
+        self._metadata_dead(1, index, "all copies failed verification")
 
     def _purify(self, level: int, index: int, good_bytes: bytes, cost: OpCost) -> None:
         """Rewrite every copy of a node with the verified value."""
@@ -722,9 +832,12 @@ class SecureMemoryController:
             return self._reclaim_victim(eviction, cost)
         parent_counter = self._parent_counter_of(1, index, cost)
         raw, touched = self._nvm_read(address, cost, "counter")
-        sidecar, _ = self._nvm_read(
-            self.amap.counter_mac_addr(index), cost, "counter_mac"
-        )
+        sidecar_address = self.amap.counter_mac_addr(index)
+        sidecar, _ = self._nvm_read(sidecar_address, cost, "counter_mac")
+        if self.nvm.is_poisoned(sidecar_address):
+            sidecar = self._recover_sidecar(index, cost)
+            if sidecar is None:
+                self._sidecar_dead(index)
         slot = self.amap.counter_mac_slot(index)
         stored_mac = sidecar[slot * MAC_BYTES:(slot + 1) * MAC_BYTES]
         if not touched:
@@ -738,10 +851,88 @@ class SecureMemoryController:
                 )
             )
             if not ok:
-                block = self._repair_counter(index, stored_mac, parent_counter, cost)
+                block, stored_mac = self._repair_counter(
+                    index, stored_mac, parent_counter, cost
+                )
             entry = CounterEntry(block, mac=stored_mac)
         self._fill_metadata(address, entry, False, cost)
         return entry
+
+    # ------------------------------------------------------------------
+    # sidecar MAC resilience (ToC mode)
+    # ------------------------------------------------------------------
+
+    def _sidecar_index_of(self, counter_index: int) -> int:
+        address = self.amap.counter_mac_addr(counter_index)
+        return (address - self.amap.counter_mac_offset) // self.amap.block_size
+
+    def _recover_sidecar(self, counter_index: int, cost: OpCost):
+        """Primary sidecar copy poisoned: promote a live clone, or
+        rebuild the block from cached counter MACs.  Returns the good
+        block bytes, or ``None`` when the block is truly dead."""
+        sidecar_index = self._sidecar_index_of(counter_index)
+        for copy in range(1, self.amap.counter_mac_depth):
+            address = self.amap.counter_mac_clone_addr(sidecar_index, copy)
+            raw, _ = self._nvm_read(address, cost, "clone")
+            if self.nvm.is_poisoned(address):
+                continue
+            self._purify_sidecar(sidecar_index, raw, cost)
+            return raw
+        rebuilt = self._rebuild_sidecar_from_cache(sidecar_index)
+        if rebuilt is not None:
+            self._purify_sidecar(sidecar_index, rebuilt, cost)
+        return rebuilt
+
+    def _rebuild_sidecar_from_cache(self, sidecar_index: int):
+        """Rebuild a sidecar block from cached counter entries.
+
+        A cached entry's ``mac`` always equals the slot value persisted
+        in NVM (set at fetch, refreshed at persist), so if every
+        *touched* counter the block serves is resident the whole block
+        regenerates without any surviving copy.
+        """
+        macs_per_block = self.amap.block_size // MAC_BYTES
+        rebuilt = bytearray(self.amap.block_size)
+        for slot in range(macs_per_block):
+            counter_index = sidecar_index * macs_per_block + slot
+            if counter_index >= self.amap.level_sizes[0]:
+                break
+            address = self.amap.node_addr(1, counter_index)
+            if self._mcache.contains(address):
+                mac = self._mcache.peek(address).mac
+            elif address in self._victims:
+                mac = self._victims[address].payload.mac
+            elif not self.nvm.is_touched(address):
+                continue  # never persisted: the zero MAC slot stands
+            else:
+                return None
+            rebuilt[slot * MAC_BYTES:(slot + 1) * MAC_BYTES] = mac
+        return bytes(rebuilt)
+
+    def _purify_sidecar(self, sidecar_index: int, good_bytes: bytes, cost: OpCost) -> None:
+        """Rewrite every copy of a sidecar MAC block with trusted bytes."""
+        self.stats.sidecar_repairs += 1
+        addresses = self.amap.counter_mac_copies(sidecar_index)
+        self._enqueue_atomic(
+            [(address, good_bytes) for address in addresses],
+            cost,
+            ["clone"] * len(addresses),
+        )
+        for address in addresses:
+            self.nvm.clear_poison(address)
+
+    def _sidecar_dead(self, counter_index: int):
+        """Every copy of a sidecar MAC block is dead: the eight counter
+        blocks it serves are unverifiable (the layout's documented
+        sidecar limitation, bounded by quarantine instead of fatal)."""
+        self.stats.integrity_failures += 1
+        address = self.amap.counter_mac_addr(counter_index)
+        sidecar_index = self._sidecar_index_of(counter_index)
+        reason = "all sidecar MAC copies failed"
+        if self.quarantine is not None and not self._suppress_quarantine:
+            self._quarantine_sidecar(sidecar_index, reason)
+            raise QuarantinedError(address, 0, sidecar_index, reason)
+        raise IntegrityError(address, 0, sidecar_index, reason)
 
     def _get_mac_block(self, block_index: int, cost: OpCost) -> MacBlockEntry:
         address = self.amap.mac_addr(block_index)
@@ -862,13 +1053,24 @@ class SecureMemoryController:
         )
         sidecar_address = self.amap.counter_mac_addr(index)
         sidecar, _ = self._nvm_read(sidecar_address, cost, "counter_mac")
+        if self.nvm.is_poisoned(sidecar_address):
+            # Don't fold a garbled base into the read-modify-write; a
+            # live clone (or cache rebuild) supplies clean other slots.
+            recovered = self._recover_sidecar(index, cost)
+            if recovered is not None:
+                sidecar = recovered
         slot = self.amap.counter_mac_slot(index)
         sidecar = (
             sidecar[: slot * MAC_BYTES]
             + entry.mac
             + sidecar[(slot + 1) * MAC_BYTES:]
         )
-        self._enqueue_write(sidecar_address, sidecar, cost, "counter_mac")
+        sidecar_copies = self.amap.counter_mac_copies(self._sidecar_index_of(index))
+        self._enqueue_atomic(
+            [(address, sidecar) for address in sidecar_copies],
+            cost,
+            ["counter_mac"] + ["clone"] * (len(sidecar_copies) - 1),
+        )
         entry.reset_updates()
 
     def _persist_node(self, level: int, index: int, node, cost: OpCost) -> None:
@@ -979,6 +1181,87 @@ class SecureMemoryController:
         self._shadow.write_entry(slot_id, record, self._wpq)
         cost.posted_writes += 1
         self.stats.record_write("shadow")
+
+    # ------------------------------------------------------------------
+    # proactive scrubbing probes
+    # ------------------------------------------------------------------
+
+    def scrub_node(self, level: int, index: int) -> str:
+        """Probe one metadata node and proactively repair its copies.
+
+        Returns ``"clean"`` (no poisoned copy), ``"repaired"`` (poison
+        healed from a clone, the cache, or recomputation), or ``"dead"``
+        (no verifiable copy survives).  The probe itself never
+        quarantines, so a scrubber can apply bounded retries before
+        giving up and calling :meth:`quarantine_node`.
+        """
+        addresses = list(self.amap.all_copies(level, index))
+        if level == 1 and self.integrity_mode == "toc":
+            addresses += self.amap.counter_mac_copies(self._sidecar_index_of(index))
+        poisoned = [a for a in addresses if self.nvm.is_poisoned(a)]
+        if not poisoned:
+            return "clean"
+        address = self.amap.node_addr(level, index)
+        cost = OpCost()
+        resident = self._mcache.contains(address) or address in self._victims
+        if not resident:
+            if not any(self.nvm.is_touched(a) for a in addresses):
+                # Never-written blocks carry no state: erasing returns
+                # them to the implicitly-valid factory-fresh zeros.
+                for a in poisoned:
+                    self.nvm.erase_block(a)
+                return "repaired"
+            self._suppress_quarantine = True
+            try:
+                if level == 1:
+                    self._get_counter(index, cost)
+                else:
+                    self._get_node(level, index, cost)
+            except IntegrityError:
+                return "dead"
+            finally:
+                self._suppress_quarantine = False
+        # The cached copy is now authoritative; rewrite every copy so no
+        # latent poisoned clone survives the pass (a healthy-primary
+        # fetch never even looks at its clones).
+        if any(self.nvm.is_poisoned(a) for a in addresses):
+            if level == 1:
+                entry = self._get_counter(index, cost)
+                self._persist_counter_entry(index, entry, cost)
+            else:
+                node = self._get_node(level, index, cost)
+                self._persist_node(level, index, node, cost)
+            self._mcache.mark_clean(address)
+            self._wpq.drain_all()
+        return "repaired"
+
+    def scrub_sidecar(self, sidecar_index: int) -> str:
+        """Probe/repair one sidecar MAC block and its copies."""
+        copies = self.amap.counter_mac_copies(sidecar_index)
+        poisoned = [a for a in copies if self.nvm.is_poisoned(a)]
+        if not poisoned:
+            return "clean"
+        if self.integrity_mode == "bmt" or not any(
+            self.nvm.is_touched(a) for a in copies
+        ):
+            # BMT mode never consults the sidecar region, and untouched
+            # blocks carry no state: a fresh erase heals either way.
+            for a in poisoned:
+                self.nvm.erase_block(a)
+            return "repaired"
+        cost = OpCost()
+        live = [a for a in copies if not self.nvm.is_poisoned(a)]
+        if live:
+            raw, _ = self._nvm_read(live[0], cost, "counter_mac")
+            self._purify_sidecar(sidecar_index, raw, cost)
+            self._wpq.drain_all()
+            return "repaired"
+        rebuilt = self._rebuild_sidecar_from_cache(sidecar_index)
+        if rebuilt is None:
+            return "dead"
+        self._purify_sidecar(sidecar_index, rebuilt, cost)
+        self._wpq.drain_all()
+        return "repaired"
 
     # ------------------------------------------------------------------
     # whole-system verification (tests / post-recovery audits)

@@ -1,5 +1,14 @@
-"""Memory fault simulation: fault modes, ECC models, Monte Carlo engine."""
+"""Memory fault simulation: fault modes, ECC models, Monte Carlo engine,
+live injection, and online resilience campaigns."""
 
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    RunResult,
+    SilentCorruptionError,
+    run_campaign,
+    run_single,
+)
 from repro.faults.config import (
     HOPPER_RELATIVE_RATES,
     FaultSimConfig,
@@ -12,21 +21,35 @@ from repro.faults.faultsim import (
     FaultSimulator,
     union_block_count,
 )
+from repro.faults.injector import (
+    INJECTION_TARGETS,
+    FaultInjector,
+    InjectionEvent,
+)
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignReport",
     "ChipkillCorrect",
     "DueRegion",
     "Extent",
     "FAULT_CLASSES",
     "Fault",
+    "FaultInjector",
     "FaultSimConfig",
     "FaultSimResult",
     "FaultSimulator",
     "HOPPER_RELATIVE_RATES",
+    "INJECTION_TARGETS",
+    "InjectionEvent",
     "NoEcc",
+    "RunResult",
     "SecDed",
+    "SilentCorruptionError",
     "mtbf_hours",
     "make_ecc",
+    "run_campaign",
+    "run_single",
     "sample_fault",
     "union_block_count",
 ]

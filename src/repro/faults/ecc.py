@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from itertools import combinations
 
-from repro.faults.fault_model import Extent, Fault
+from repro.faults.fault_model import Extent
 
 
 class DueRegion:

@@ -21,6 +21,7 @@ when the absolute probability is 1e-9 — the regime of Figure 11.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from itertools import combinations
 
@@ -31,12 +32,16 @@ from repro.faults.ecc import make_ecc
 from repro.faults.fault_model import sample_fault
 
 
-def union_block_count(regions, geometry) -> int:
+def union_block_count(regions, geometry, on_approximation=None) -> int:
     """Unique blocks covered by DUE regions (inclusion-exclusion).
 
     Regions in different ranks never overlap; within a rank the extents
     are rectangular products, so intersections stay rectangular and the
-    inclusion-exclusion sum is exact.
+    inclusion-exclusion sum is exact — except above 14 regions per
+    rank, where the additive *upper bound* replaces the 2^n sum.  That
+    substitution silently overestimates DUEs, so it now warns and
+    reports itself through ``on_approximation`` (called once per
+    affected rank with the region count) for campaign accounting.
     """
     total = 0
     by_rank = {}
@@ -46,6 +51,15 @@ def union_block_count(regions, geometry) -> int:
         n = len(extents)
         if n > 14:
             # Astronomically rare; fall back to an upper bound.
+            warnings.warn(
+                f"union_block_count: {n} overlapping DUE regions in one "
+                "rank; substituting the additive upper bound for "
+                "inclusion-exclusion (overestimates unique DUE blocks)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if on_approximation is not None:
+                on_approximation(n)
             total += sum(e.block_count(geometry) for e in extents)
             continue
         for r in range(1, n + 1):
@@ -84,6 +98,9 @@ class FaultSimResult:
     #: region): E[prod_i f_{rank(i)}] — the default for UDR analysis.
     p_multi_due_cross: dict = field(default_factory=dict)
     by_fault_count: dict = field(default_factory=dict)
+    #: Times the >14-region additive upper bound replaced exact
+    #: inclusion-exclusion during the campaign (0 = every union exact).
+    union_approximations: int = 0
 
     @property
     def total_blocks(self) -> int:
@@ -104,6 +121,11 @@ class FaultSimulator:
         self._weights = np.array(
             [config.relative_rates[c] for c in self._classes]
         )
+        #: Upper-bound substitutions observed since the last run().
+        self.union_approximations = 0
+
+    def _note_approximation(self, region_count: int) -> None:
+        self.union_approximations += 1
 
     def lifetime_fault_mean(self) -> float:
         """Expected fault arrivals per DIMM over the simulated life."""
@@ -140,7 +162,10 @@ class FaultSimulator:
         for rank in range(geometry.ranks):
             rank_regions = [r for r in regions if r.rank == rank]
             if rank_regions:
-                per_rank[rank] = union_block_count(rank_regions, geometry)
+                per_rank[rank] = union_block_count(
+                    rank_regions, geometry,
+                    on_approximation=self._note_approximation,
+                )
         return sum(per_rank), True, per_rank
 
     def _min_faults_for_due(self) -> int:
@@ -160,6 +185,7 @@ class FaultSimulator:
         rng = np.random.default_rng(config.seed)
         if trials_per_k is None:
             trials_per_k = max(200, config.trials // self.MAX_FAULTS)
+        self.union_approximations = 0
         mean = self.lifetime_fault_mean()
         total_blocks = config.geometry.total_blocks
         max_depth = 5  # deepest cloning the analysis will ask about
@@ -216,4 +242,5 @@ class FaultSimulator:
             p_multi_due=moments,
             p_multi_due_cross=cross_moments,
             by_fault_count=by_fault_count,
+            union_approximations=self.union_approximations,
         )

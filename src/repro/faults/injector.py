@@ -1,0 +1,305 @@
+"""Live fault injection into a running secure-memory system.
+
+The offline Monte-Carlo engine (:mod:`repro.faults.faultsim`) answers
+"how often do DUEs strike" — this module answers "what happens when
+they do".  A :class:`FaultInjector` couples the fault model to a live
+:class:`~repro.controller.SecureMemoryController`: fault arrivals are
+scheduled over simulated time (operation count), drawn from the Hopper
+fault-mode distribution, and fired by poisoning real
+:class:`~repro.memory.NvmDevice` blocks inside a chosen layout region
+(data, counters, tree nodes, clones, sidecar MACs, shadow table).
+
+Two injection modes:
+
+* ``"direct"`` (default) — every event is a DUE by construction.  The
+  Hopper class shapes the blast radius (a ``row`` fault garbles more
+  blocks than a ``bit`` fault); the *rate* of events is the caller's
+  choice, because live campaigns study the system's response to DUEs,
+  not their (separately analyzed) arrival probability.
+* ``"ecc"`` — faults accumulate exactly as in the offline simulator and
+  only the ECC model's *uncorrectable* regions poison blocks.  Under
+  Chipkill the first faults are correctable, so early events defer and
+  damage appears once faults overlap — arbitrary-time failures in the
+  Triad-NVM/Phoenix sense.
+
+Everything is driven by one seeded generator, so a campaign replays
+bit-identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.config import FaultSimConfig
+from repro.faults.ecc import make_ecc
+from repro.faults.fault_model import sample_fault
+
+#: Layout regions that can be targeted by name.
+INJECTION_TARGETS = (
+    "data", "counter", "tree", "clone", "counter_mac", "shadow",
+)
+
+#: Blocks garbled per event by Hopper class in direct mode, before the
+#: per-event cap.  Spatially-large classes hit more blocks; the exact
+#: scale is bounded by ``max_blocks_per_fault`` because a full row/bank
+#: extent would dwarf the small memories live campaigns run on.
+_CLASS_SPREAD = {
+    "bit": 1,
+    "word": 1,
+    "column": 2,
+    "row": 4,
+    "bank": 8,
+    "nbank": 12,
+    "nrank": 16,
+}
+
+
+@dataclass
+class InjectionEvent:
+    """One scheduled fault arrival."""
+
+    op: int                     # operation index the event fires at
+    target: str                 # layout region name
+    fault_class: str            # Hopper fault mode
+    addresses: tuple = ()       # poisoned block addresses (set on fire)
+    fired: bool = False
+    deferred: bool = False      # ecc mode: arrival was still correctable
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "target": self.target,
+            "fault_class": self.fault_class,
+            "addresses": list(self.addresses),
+            "fired": self.fired,
+            "deferred": self.deferred,
+        }
+
+
+class FaultInjector:
+    """Schedules and fires faults against one live controller.
+
+    ``targets`` cycles per event; ``horizon_ops`` spreads the arrivals
+    uniformly over the campaign's operation budget.  ``touched_only``
+    restricts candidates to blocks that carry real state (poisoning a
+    factory-fresh block is a no-op for the controller, which treats
+    untouched blocks as implicitly-valid zeros).
+    """
+
+    def __init__(
+        self,
+        controller,
+        targets=("counter",),
+        *,
+        seed: int = 0,
+        num_faults: int = 8,
+        horizon_ops: int = 10_000,
+        mode: str = "direct",
+        config: FaultSimConfig = None,
+        touched_only: bool = True,
+        scramble: bool = True,
+        max_blocks_per_fault: int = 4,
+    ):
+        if mode not in ("direct", "ecc"):
+            raise ValueError(f"mode must be 'direct' or 'ecc', got {mode!r}")
+        if num_faults < 0:
+            raise ValueError("num_faults must be >= 0")
+        if horizon_ops < 1:
+            raise ValueError("horizon_ops must be >= 1")
+        unknown = [t for t in targets if t not in INJECTION_TARGETS]
+        if unknown:
+            raise ValueError(
+                f"unknown injection targets {unknown}; "
+                f"valid: {INJECTION_TARGETS}"
+            )
+        self.controller = controller
+        self.targets = tuple(targets)
+        self.seed = seed
+        self.mode = mode
+        self.config = config or FaultSimConfig()
+        self.touched_only = touched_only
+        self.scramble = scramble
+        self.max_blocks_per_fault = max_blocks_per_fault
+        self._rng = np.random.default_rng(seed)
+        self._ecc = make_ecc(self.config.repair)
+        self._accumulated_faults: list = []
+        self._known_due_blocks: set = set()
+
+        classes = list(self.config.relative_rates)
+        weights = np.array([self.config.relative_rates[c] for c in classes])
+        ops = sorted(
+            int(o) for o in self._rng.integers(0, horizon_ops, size=num_faults)
+        )
+        drawn = self._rng.choice(len(classes), size=num_faults, p=weights)
+        self.events = [
+            InjectionEvent(
+                op=op,
+                target=self.targets[i % len(self.targets)],
+                fault_class=classes[int(c)],
+            )
+            for i, (op, c) in enumerate(zip(ops, drawn))
+        ]
+        self._next_event = 0
+
+    # ------------------------------------------------------------------
+
+    def poll(self, op: int) -> list:
+        """Fire every event scheduled at or before operation ``op``.
+
+        Returns the events that fired (possibly empty).  Designed to be
+        called once per workload operation.
+        """
+        fired = []
+        while (
+            self._next_event < len(self.events)
+            and self.events[self._next_event].op <= op
+        ):
+            event = self.events[self._next_event]
+            self._next_event += 1
+            self._fire(event)
+            if event.fired:
+                fired.append(event)
+        return fired
+
+    def drain(self) -> list:
+        """Fire all remaining scheduled events immediately."""
+        if not self.events:
+            return []
+        return self.poll(self.events[-1].op)
+
+    @property
+    def pending(self) -> int:
+        return len(self.events) - self._next_event
+
+    def injected_addresses(self) -> set:
+        """Every address poisoned by this injector so far."""
+        out = set()
+        for event in self.events:
+            out.update(event.addresses)
+        return out
+
+    def summary(self) -> dict:
+        fired = [e for e in self.events if e.fired]
+        return {
+            "seed": self.seed,
+            "mode": self.mode,
+            "targets": list(self.targets),
+            "scheduled": len(self.events),
+            "fired": len(fired),
+            "deferred": sum(e.deferred for e in self.events),
+            "poisoned_blocks": sum(len(e.addresses) for e in fired),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, event: InjectionEvent) -> None:
+        if self.mode == "ecc":
+            addresses = self._ecc_addresses(event)
+        else:
+            addresses = self._direct_addresses(event)
+        if not addresses:
+            event.deferred = True
+            return
+        for address in addresses:
+            if self.scramble:
+                bits = self._rng.integers(
+                    0, self.controller.nvm.block_size * 8,
+                    size=int(self._rng.integers(1, 4)),
+                )
+                self.controller.nvm.flip_bits(address, [int(b) for b in bits])
+            self.controller.nvm.poison_block(address)
+        event.addresses = tuple(addresses)
+        event.fired = True
+
+    def _direct_addresses(self, event: InjectionEvent) -> list:
+        candidates = self._candidates(event.target)
+        if not candidates:
+            return []
+        spread = min(
+            _CLASS_SPREAD[event.fault_class],
+            self.max_blocks_per_fault,
+            len(candidates),
+        )
+        start = int(self._rng.integers(0, len(candidates)))
+        # Contiguous run in region order: spatially-correlated damage,
+        # the pattern large fault modes actually produce.
+        return [candidates[(start + i) % len(candidates)] for i in range(spread)]
+
+    def _ecc_addresses(self, event: InjectionEvent) -> list:
+        geometry = self.config.geometry
+        self._accumulated_faults.extend(
+            sample_fault(event.fault_class, geometry, self._rng)
+        )
+        regions = self._ecc.uncorrectable_regions(
+            self._accumulated_faults, geometry
+        )
+        new_blocks = []
+        for region in regions:
+            for block in region.extent.blocks(
+                geometry, region.rank, limit=self.max_blocks_per_fault * 4
+            ):
+                if block not in self._known_due_blocks:
+                    self._known_due_blocks.add(block)
+                    new_blocks.append(block)
+        if not new_blocks:
+            return []
+        candidates = self._candidates(event.target)
+        if not candidates:
+            return []
+        # Fold device-scale DUE coordinates onto the (smaller) region.
+        picked = []
+        for block in new_blocks[: self.max_blocks_per_fault]:
+            address = candidates[block % len(candidates)]
+            if address not in picked:
+                picked.append(address)
+        return picked
+
+    def _candidates(self, target: str) -> list:
+        """Block addresses of one region, optionally touched-only."""
+        amap = self.controller.amap
+        addresses: list = []
+        if target == "data":
+            addresses = [
+                amap.data_addr(i) for i in range(amap.num_data_blocks)
+            ]
+        elif target == "counter":
+            addresses = [
+                amap.node_addr(1, i) for i in range(amap.level_sizes[0])
+            ]
+        elif target == "tree":
+            for level in range(2, amap.num_levels + 1):
+                addresses.extend(
+                    amap.node_addr(level, i)
+                    for i in range(amap.level_sizes[level - 1])
+                )
+        elif target == "clone":
+            for level in range(1, amap.num_levels + 1):
+                depth = amap.clone_depths.get(level, 1)
+                for copy in range(1, depth):
+                    addresses.extend(
+                        amap.clone_addr(level, i, copy)
+                        for i in range(amap.level_sizes[level - 1])
+                    )
+            for copy in range(1, amap.counter_mac_depth):
+                addresses.extend(
+                    amap.counter_mac_clone_addr(i, copy)
+                    for i in range(amap.num_counter_mac_blocks)
+                )
+        elif target == "counter_mac":
+            addresses = [
+                amap.counter_mac_offset + i * amap.block_size
+                for i in range(amap.num_counter_mac_blocks)
+            ]
+        elif target == "shadow":
+            addresses = [
+                amap.shadow_entry_addr(i) for i in range(amap.shadow_entries)
+            ]
+        if self.touched_only:
+            nvm = self.controller.nvm
+            touched = [a for a in addresses if nvm.is_touched(a)]
+            if touched:
+                return touched
+        return addresses

@@ -12,6 +12,7 @@ region                contents
 ``counter_mac``       64-bit ToC MACs of counter blocks, packed eight per block
 ``tree``              ToC intermediate nodes, level 2 upward (root is on-chip)
 ``clone``             Soteria clone copies of counter/tree nodes, per depth
+``counter_mac_clone`` clone copies of the sidecar MAC blocks (depth > 1)
 ``shadow``            Anubis shadow-table entries (one per metadata-cache slot)
 ``shadow_tree``       eagerly-updated BMT nodes protecting the shadow table
 ====================  =========================================================
@@ -65,9 +66,12 @@ class AddressMap:
         clone_depths=None,
         shadow_entries: int = 0,
         block_size: int = CACHELINE_BYTES,
+        counter_mac_depth: int = 1,
     ):
         if data_bytes <= 0 or data_bytes % block_size != 0:
             raise ValueError("data_bytes must be a positive multiple of block size")
+        if counter_mac_depth < 1:
+            raise ValueError("counter_mac_depth counts the original; must be >= 1")
         self.block_size = block_size
         self.data_bytes = data_bytes
         self.num_data_blocks = data_bytes // block_size
@@ -108,6 +112,14 @@ class AddressMap:
             if extra > 0:
                 self.clone_offsets[level] = cursor
                 cursor += self.level_sizes[level - 1] * extra * block_size
+
+        # The sidecar MACs are a single point of failure for the eight
+        # counter blocks each sidecar block serves, so Soteria layouts
+        # clone them like any other metadata (the paper embeds leaf
+        # MACs; our packed sidecar needs explicit copies instead).
+        self.counter_mac_depth = counter_mac_depth
+        self.counter_mac_clone_offset = cursor
+        cursor += self.num_counter_mac_blocks * (counter_mac_depth - 1) * block_size
 
         self.shadow_offset = cursor
         cursor += self.shadow_entries * block_size
@@ -184,6 +196,32 @@ class AddressMap:
             self.clone_addr(level, index, c) for c in range(1, depth)
         ]
 
+    def counter_mac_clone_addr(self, sidecar_index: int, copy: int) -> int:
+        """Address of clone ``copy`` (1-based) of a sidecar MAC block."""
+        if not 1 <= copy < self.counter_mac_depth:
+            raise ValueError(
+                f"copy {copy} invalid for sidecar depth {self.counter_mac_depth}"
+            )
+        self._check_index(
+            sidecar_index, self.num_counter_mac_blocks, "sidecar block"
+        )
+        per_copy = self.num_counter_mac_blocks * self.block_size
+        return (
+            self.counter_mac_clone_offset
+            + (copy - 1) * per_copy
+            + sidecar_index * self.block_size
+        )
+
+    def counter_mac_copies(self, sidecar_index: int) -> list:
+        """Addresses of every stored copy of a sidecar block, original
+        first."""
+        return [
+            self.counter_mac_offset + sidecar_index * self.block_size
+        ] + [
+            self.counter_mac_clone_addr(sidecar_index, c)
+            for c in range(1, self.counter_mac_depth)
+        ]
+
     def shadow_entry_addr(self, entry_index: int) -> int:
         self._check_index(entry_index, self.shadow_entries, "shadow entry")
         return self.shadow_offset + entry_index * self.block_size
@@ -247,6 +285,11 @@ class AddressMap:
                 rel = address - offset
                 copy, rem = divmod(rel, per_copy)
                 return ("clone", level, rem // self.block_size, copy + 1)
+        if self.counter_mac_clone_offset <= address < self.shadow_offset:
+            per_copy = self.num_counter_mac_blocks * self.block_size
+            rel = address - self.counter_mac_clone_offset
+            copy, rem = divmod(rel, per_copy)
+            return ("counter_mac_clone", rem // self.block_size, copy + 1)
         if self.shadow_offset <= address < self.shadow_offset + self.shadow_entries * self.block_size:
             return ("shadow", (address - self.shadow_offset) // self.block_size)
         return (

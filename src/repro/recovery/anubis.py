@@ -84,6 +84,7 @@ class RecoveryManager:
             wpq_entries=image.wpq_entries,
             osiris_limit=image.osiris_limit,
             update_policy=image.update_policy,
+            quarantine=image.quarantine,
             functional_crypto=True,
             trusted=image.trusted,
         )
@@ -294,4 +295,8 @@ class RecoveryManager:
             sidecar = bytearray(ctrl.nvm.read_block(sidecar_address))
             slot = amap.counter_mac_slot(index)
             sidecar[slot * MAC_BYTES:(slot + 1) * MAC_BYTES] = mac
-            ctrl.nvm.write_block(sidecar_address, bytes(sidecar))
+            sidecar_index = (
+                sidecar_address - amap.counter_mac_offset
+            ) // amap.block_size
+            for address in amap.counter_mac_copies(sidecar_index):
+                ctrl.nvm.write_block(address, bytes(sidecar))

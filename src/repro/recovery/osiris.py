@@ -65,6 +65,7 @@ class OsirisRecovery:
             osiris_limit=image.osiris_limit,
             update_policy=image.update_policy,
             integrity_mode="bmt",
+            quarantine=image.quarantine,
             functional_crypto=True,
             trusted=image.trusted,
         )

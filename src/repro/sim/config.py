@@ -9,7 +9,7 @@ simulation remains fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.hierarchy import LevelConfig
 from repro.constants import CPU_CLOCK_GHZ, PCM_READ_NS, PCM_WRITE_NS

@@ -56,7 +56,7 @@ class SecureSystem:
             )
         self.controller = controller
 
-    def run(self, workload, warmup_refs: int = 0) -> SimResult:
+    def run(self, workload, warmup_refs: int = 0, op_hook=None) -> SimResult:
         """Run one workload's reference stream to completion.
 
         ``warmup_refs`` replicates the paper's methodology ("we create
@@ -64,6 +64,12 @@ class SecureSystem:
         initialization phase and simulate 500M instructions
         afterwards"): the first N references warm the caches and
         metadata state, then every statistic resets before measurement.
+
+        ``op_hook(op_index)``, when given, is called before each
+        post-warmup reference — the attachment point for online fault
+        injection (:class:`~repro.faults.FaultInjector.poll`) and
+        background scrubbing
+        (:class:`~repro.controller.MetadataScrubber.tick`).
         """
         config = self.config
         controller = self.controller
@@ -94,6 +100,8 @@ class SecureSystem:
                     controller.stats = ControllerStats()
                     controller.nvm.reset_counters()
                 continue
+            if op_hook is not None:
+                op_hook(memory_requests)
             address %= data_bytes
             instructions += gap + 1
             cpu_cycles += gap  # 1 cycle per non-memory instruction

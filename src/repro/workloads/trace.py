@@ -14,7 +14,7 @@ with ``#`` comments, so traces diff cleanly and can be hand-edited.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.workloads.base import Workload
 

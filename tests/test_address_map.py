@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.constants import CACHELINE_BYTES
 from repro.memory import AddressMap, tree_level_sizes
 
 MB = 1024 * 1024
@@ -45,7 +44,7 @@ class TestAddressMap:
     @pytest.fixture
     def amap(self):
         return AddressMap(data_bytes=MB, clone_depths={1: 2, 2: 3},
-                          shadow_entries=64)
+                          counter_mac_depth=2, shadow_entries=64)
 
     def test_region_ordering(self, amap):
         assert amap.mac_offset == amap.data_bytes
@@ -166,11 +165,24 @@ class TestAddressMap:
                 depth = amap.clone_depths.get(level, 1)
                 for c in range(1, depth):
                     seen.add(amap.clone_addr(level, i, c))
+        for i in range(amap.num_counter_mac_blocks):
+            for c in range(1, amap.counter_mac_depth):
+                seen.add(amap.counter_mac_clone_addr(i, c))
         for i in range(amap.shadow_entries):
             seen.add(amap.shadow_entry_addr(i))
         for i in range(amap.num_shadow_tree_nodes):
             seen.add(amap.shadow_tree_addr(i))
         assert len(seen) == amap.total_bytes // 64
+
+    def test_counter_mac_clone_region(self, amap):
+        clone = amap.counter_mac_clone_addr(3, 1)
+        assert amap.region_of(clone) == ("counter_mac_clone", 3, 1)
+        assert amap.counter_mac_copies(3) == [amap.counter_mac_addr(24),
+                                              clone]
+        with pytest.raises(ValueError):
+            amap.counter_mac_clone_addr(0, 2)  # depth 2 -> only copy 1
+        with pytest.raises(ValueError):
+            AddressMap(data_bytes=MB, counter_mac_depth=0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

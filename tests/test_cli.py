@@ -26,7 +26,8 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("info", "perf", "reliability", "crash-test", "figures"):
+        for cmd in ("info", "perf", "reliability", "crash-test", "figures",
+                    "chaos"):
             args = parser.parse_args([cmd])
             assert callable(args.func)
 
@@ -77,6 +78,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "baseline" in out
         assert "loss decomposition" in out
+
+    def test_reliability_seed_is_deterministic(self, capsys):
+        argv = ["reliability", "--size", "1tb", "--fits", "40",
+                "--trials", "2000", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert main(argv[:-1] + ["10"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_chaos(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "report.json"
+        code = main([
+            "chaos", "--ops", "500", "--faults", "3",
+            "--schemes", "baseline", "src",
+            "--targets", "counter",
+            "--scrub-intervals", "0",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no-silent-corruption invariant: HELD" in out
+        report = json.loads(out_path.read_text())
+        assert report["invariant_ok"] is True
+        assert report["resilience"]["src"]["ge_10x"]
 
     def test_crash_test_toc(self, capsys):
         code = main([

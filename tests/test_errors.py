@@ -1,0 +1,230 @@
+"""Every raise site of the typed error hierarchy, exercised.
+
+The controller's contract is that corrupted state never escapes as
+valid data: each dead end raises a specific
+:class:`~repro.controller.SecureMemoryError` subclass.  These tests pin
+down every ``raise`` site —
+
+* ``DataPoisonedError``   — read of a poisoned data block;
+* ``IntegrityError``      — data MAC mismatch, dead metadata node
+  (quarantine off), dead sidecar MAC block (quarantine off);
+* ``QuarantinedError``    — dead node / dead sidecar with quarantine
+  on, and the fast-fail on later accesses inside a quarantined range;
+* ``RecoveryError``       — wrong-mode recovery (both managers),
+  unrecoverable shadow entry, shadow-root mismatch, unrecoverable
+  counter (Osiris), tree-root mismatch (Osiris);
+
+— plus the poison lifecycle rule: ``write_block`` clears poison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller import (
+    DataPoisonedError,
+    IntegrityError,
+    QuarantinedError,
+    RecoveryError,
+    SecureMemoryController,
+    SecureMemoryError,
+)
+from repro.memory import NvmDevice
+from repro.recovery import OsirisRecovery, RecoveryManager
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make_ctrl(quarantine=False, data_bytes=MB, cache_bytes=2 * KB, seed=7,
+              **kwargs):
+    return SecureMemoryController(
+        data_bytes,
+        metadata_cache_bytes=cache_bytes,
+        quarantine=quarantine,
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+def evict_counter_zero(ctrl):
+    """Write blocks 0..63, then touch every other counter region so the
+    small metadata cache (and victim queue) evict counter 0."""
+    for block in range(64):
+        ctrl.write(block, bytes([block]) * 64)
+    for counter in range(1, ctrl.amap.level_sizes[0]):
+        ctrl.write(counter * 64, bytes(64))
+    ctrl.flush()
+    address = ctrl.amap.node_addr(1, 0)
+    assert not ctrl.metadata_cache.contains(address)
+
+
+class TestHierarchy:
+    def test_all_typed_errors_are_secure_memory_errors(self):
+        for exc in (DataPoisonedError, IntegrityError, QuarantinedError,
+                    RecoveryError):
+            assert issubclass(exc, SecureMemoryError)
+
+    def test_quarantined_error_carries_context(self):
+        err = QuarantinedError(0x1000, 1, 3, "test reason")
+        assert err.address == 0x1000
+        assert err.level == 1
+        assert err.index == 3
+        assert err.reason == "test reason"
+        assert "0x1000" in str(err)
+
+
+class TestDataPoisonedError:
+    def test_read_of_poisoned_data_block_raises(self):
+        ctrl = make_ctrl()
+        ctrl.write(0, b"\xaa" * 64)
+        ctrl.flush()
+        ctrl.nvm.poison_block(ctrl.amap.data_addr(0))
+        with pytest.raises(DataPoisonedError):
+            ctrl.read(0)
+
+    def test_write_block_clears_poison(self):
+        # Device-level rule first ...
+        nvm = NvmDevice(capacity_bytes=4 * KB)
+        nvm.write_block(0, b"\x11" * 64)
+        nvm.poison_block(0)
+        assert nvm.is_poisoned(0)
+        nvm.write_block(0, b"\x22" * 64)
+        assert not nvm.is_poisoned(0)
+        # ... then end to end: overwriting a poisoned data block heals it.
+        ctrl = make_ctrl()
+        ctrl.write(0, b"\xaa" * 64)
+        ctrl.flush()
+        ctrl.nvm.poison_block(ctrl.amap.data_addr(0))
+        with pytest.raises(DataPoisonedError):
+            ctrl.read(0)
+        ctrl.write(0, b"\xbb" * 64)
+        assert ctrl.read(0).data == b"\xbb" * 64
+
+
+class TestIntegrityError:
+    def test_data_mac_mismatch(self):
+        ctrl = make_ctrl()
+        ctrl.write(0, b"\xcd" * 64)
+        ctrl.flush()
+        ctrl.nvm.flip_bits(ctrl.amap.data_addr(0), [5])
+        with pytest.raises(IntegrityError) as info:
+            ctrl.read(0)
+        assert "data MAC" in str(info.value)
+
+    def test_dead_counter_without_quarantine(self):
+        ctrl = make_ctrl(quarantine=False)
+        evict_counter_zero(ctrl)
+        address = ctrl.amap.node_addr(1, 0)
+        ctrl.nvm.flip_bits(address, [3, 77, 501])
+        ctrl.nvm.poison_block(address)
+        with pytest.raises(IntegrityError):
+            ctrl.read(0)
+        assert ctrl.stats.integrity_failures >= 1
+
+    def test_dead_sidecar_without_quarantine(self):
+        ctrl = make_ctrl(quarantine=False)
+        evict_counter_zero(ctrl)
+        ctrl.nvm.poison_block(ctrl.amap.counter_mac_offset)
+        with pytest.raises(IntegrityError) as info:
+            ctrl.read(0)
+        assert "sidecar" in str(info.value)
+
+
+class TestQuarantinedError:
+    def test_dead_counter_quarantines_and_fails_fast(self):
+        ctrl = make_ctrl(quarantine=True)
+        evict_counter_zero(ctrl)
+        address = ctrl.amap.node_addr(1, 0)
+        ctrl.nvm.flip_bits(address, [3, 77, 501])
+        ctrl.nvm.poison_block(address)
+        with pytest.raises(QuarantinedError):   # discovery (dead node)
+            ctrl.read(0)
+        assert ctrl.stats.quarantined_nodes == 1
+        assert ctrl.stats.quarantined_bytes == 64 * 64
+        before = ctrl.stats.quarantined_accesses
+        with pytest.raises(QuarantinedError):   # fast-fail in the range
+            ctrl.read(5)
+        with pytest.raises(QuarantinedError):   # writes fail fast too
+            ctrl.write(63, bytes(64))
+        assert ctrl.stats.quarantined_accesses == before + 2
+        # Memory outside the quarantined range still serves.
+        assert ctrl.read(64).data == bytes(64)
+
+    def test_dead_sidecar_quarantines_covered_counters(self):
+        ctrl = make_ctrl(quarantine=True)
+        evict_counter_zero(ctrl)
+        ctrl.nvm.poison_block(ctrl.amap.counter_mac_offset)
+        with pytest.raises(QuarantinedError) as info:
+            ctrl.read(0)
+        assert info.value.level == 0
+        # One sidecar block MACs 8 counter blocks -> 512 data blocks.
+        with pytest.raises(QuarantinedError):
+            ctrl.read(511)
+
+
+class TestRecoveryError:
+    def test_anubis_rejects_bmt_image(self):
+        ctrl = make_ctrl(data_bytes=64 * KB, integrity_mode="bmt")
+        ctrl.write(0, b"\x01" * 64)
+        with pytest.raises(RecoveryError):
+            RecoveryManager(ctrl.crash()).recover()
+
+    def test_osiris_rejects_toc_image(self):
+        ctrl = make_ctrl(data_bytes=64 * KB)
+        ctrl.write(0, b"\x01" * 64)
+        with pytest.raises(RecoveryError):
+            OsirisRecovery(ctrl.crash())
+
+    def test_unrecoverable_shadow_entry(self):
+        ctrl = make_ctrl(data_bytes=256 * KB, cache_bytes=4 * KB)
+        rng = np.random.default_rng(3)
+        for _ in range(400):
+            block = int(rng.integers(0, ctrl.num_data_blocks))
+            ctrl.write(block, bytes(int(x) for x in rng.integers(0, 256, 64)))
+        image = ctrl.crash()
+        target = None
+        for slot in range(ctrl.amap.shadow_entries):
+            address = ctrl.amap.shadow_entry_addr(slot)
+            if not image.nvm.is_touched(address):
+                continue
+            raw = image.nvm.read_block(address)
+            if any(not r.is_empty
+                   for r in ctrl.shadow_codec.decode_candidates(raw)):
+                target = address
+                break
+        assert target is not None
+        # Byte 56 is the record MAC in the single-copy Anubis layout; the
+        # baseline codec has no duplicate to repair from.
+        image.nvm.flip_bits(target, [56 * 8 + 1])
+        with pytest.raises(RecoveryError):
+            RecoveryManager(image).recover()
+
+    def test_shadow_root_mismatch(self):
+        ctrl = make_ctrl(data_bytes=64 * KB)
+        ctrl.write(0, b"\x01" * 64)
+        image = ctrl.crash()
+        image.trusted.shadow_root = bytes(len(image.trusted.shadow_root))
+        with pytest.raises(RecoveryError) as info:
+            RecoveryManager(image).recover()
+        assert "root" in str(info.value)
+
+    def test_osiris_unrecoverable_counter(self):
+        ctrl = make_ctrl(data_bytes=64 * KB, integrity_mode="bmt")
+        for block in range(32):
+            ctrl.write(block, bytes([block]) * 64)
+        image = ctrl.crash()
+        image.nvm.flip_bits(
+            ctrl.amap.node_addr(1, 0), [1, 65, 129, 300, 411]
+        )
+        with pytest.raises(RecoveryError):
+            OsirisRecovery(image).recover()
+
+    def test_osiris_tree_root_mismatch(self):
+        ctrl = make_ctrl(data_bytes=64 * KB, integrity_mode="bmt")
+        for block in range(32):
+            ctrl.write(block, bytes([block]) * 64)
+        image = ctrl.crash()
+        image.trusted.root = None   # simulate lost/garbled on-chip root
+        with pytest.raises(RecoveryError) as info:
+            OsirisRecovery(image).recover()
+        assert "root" in str(info.value)

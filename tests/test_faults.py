@@ -213,6 +213,40 @@ class TestUnionCount:
         ]
         assert union_block_count(regions, GEO) == 2 * GEO.blocks_per_row
 
+    def test_additive_fallback_warns_and_reports(self):
+        import warnings
+
+        from repro.faults import DueRegion
+
+        # 15 single-row regions in one rank: above the inclusion-
+        # exclusion cutoff, so the additive upper bound substitutes.
+        regions = [
+            DueRegion(0, extent(bank=0, row=r)) for r in range(15)
+        ]
+        seen = []
+        with pytest.warns(RuntimeWarning, match="additive upper bound"):
+            total = union_block_count(
+                regions, GEO, on_approximation=seen.append
+            )
+        assert total == 15 * GEO.blocks_per_row
+        assert seen == [15]
+        # At or below the cutoff: exact, silent, no callback.
+        seen.clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            exact = union_block_count(
+                regions[:14], GEO, on_approximation=seen.append
+            )
+        assert exact == 14 * GEO.blocks_per_row
+        assert seen == []
+
+    def test_result_counts_approximations(self):
+        # Normal campaigns never hit the fallback: the field exists and
+        # stays zero, so a nonzero value is a reliable red flag.
+        config = FaultSimConfig(fit_per_device=20, trials=800, seed=5)
+        result = FaultSimulator(config).run(trials_per_k=100)
+        assert result.union_approximations == 0
+
 
 class TestFaultSimConfig:
     def test_table4_defaults(self):

@@ -1,0 +1,133 @@
+"""Live fault injector: scheduling, targeting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_controller
+from repro.faults import INJECTION_TARGETS, FaultInjector
+
+KB = 1024
+
+
+def make_ctrl(scheme="src", seed=7):
+    ctrl = make_controller(
+        scheme, 64 * KB, functional_crypto=True, quarantine=True,
+        rng=np.random.default_rng(seed),
+    )
+    for block in range(0, ctrl.num_data_blocks, 4):
+        ctrl.write(block, bytes([block % 251]) * 64)
+    ctrl.flush()
+    return ctrl
+
+
+class TestScheduling:
+    def test_events_fire_in_op_order(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter",), seed=1,
+                            num_faults=5, horizon_ops=100)
+        assert [e.op for e in inj.events] == sorted(e.op for e in inj.events)
+        fired_ops = []
+        for op in range(100):
+            for event in inj.poll(op):
+                fired_ops.append(event.op)
+        assert inj.pending == 0
+        assert sorted(fired_ops) == fired_ops
+
+    def test_poll_is_idempotent_per_event(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter",), seed=1,
+                            num_faults=3, horizon_ops=10)
+        first = inj.poll(10)
+        assert len(first) + sum(e.deferred for e in inj.events) == 3
+        assert inj.poll(10) == []
+
+    def test_drain_fires_everything(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("tree",), seed=2,
+                            num_faults=4, horizon_ops=1000)
+        inj.drain()
+        assert inj.pending == 0
+        assert all(e.fired or e.deferred for e in inj.events)
+
+    def test_targets_cycle_round_robin(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter", "tree"), seed=3,
+                            num_faults=4, horizon_ops=100)
+        assert [e.target for e in inj.events] == [
+            "counter", "tree", "counter", "tree"
+        ]
+
+
+class TestValidation:
+    def test_rejects_unknown_target(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ValueError, match="unknown injection targets"):
+            FaultInjector(ctrl, targets=("bogus",))
+
+    def test_rejects_unknown_mode(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ValueError, match="mode"):
+            FaultInjector(ctrl, mode="fuzzy")
+
+    def test_all_documented_targets_resolve(self):
+        ctrl = make_ctrl(scheme="sac")
+        for target in INJECTION_TARGETS:
+            inj = FaultInjector(ctrl, targets=(target,), seed=4,
+                                num_faults=1, horizon_ops=1)
+            assert inj._candidates(target), target
+
+
+class TestDamage:
+    def test_direct_mode_poisons_target_region(self):
+        ctrl = make_ctrl()
+        amap = ctrl.amap
+        counter_addresses = {
+            amap.node_addr(1, i) for i in range(amap.level_sizes[0])
+        }
+        inj = FaultInjector(ctrl, targets=("counter",), seed=5,
+                            num_faults=4, horizon_ops=10)
+        inj.drain()
+        injected = inj.injected_addresses()
+        assert injected
+        assert injected <= counter_addresses
+        assert all(ctrl.nvm.is_poisoned(a) for a in injected)
+
+    def test_baseline_has_no_clone_candidates(self):
+        ctrl = make_ctrl(scheme="baseline")
+        inj = FaultInjector(ctrl, targets=("clone",), seed=6,
+                            num_faults=2, horizon_ops=10)
+        inj.drain()
+        assert inj.injected_addresses() == set()
+        assert all(e.deferred for e in inj.events)
+
+    def test_ecc_mode_defers_correctable_arrivals(self):
+        # Under Chipkill a single chip fault is always correctable, so
+        # the very first event can never poison anything.
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter",), seed=7,
+                            num_faults=6, horizon_ops=10, mode="ecc")
+        inj.drain()
+        assert inj.events[0].deferred
+
+    def test_summary_counts(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter",), seed=8,
+                            num_faults=3, horizon_ops=10)
+        inj.drain()
+        s = inj.summary()
+        assert s["scheduled"] == 3
+        assert s["fired"] + s["deferred"] == 3
+        assert len(s["events"]) == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_and_damage(self):
+        def run(seed):
+            ctrl = make_ctrl(seed=11)
+            inj = FaultInjector(ctrl, targets=("counter", "tree"),
+                                seed=seed, num_faults=6, horizon_ops=500)
+            inj.drain()
+            return inj.summary()
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.constants import CACHELINE_BYTES
 from repro.memory import DimmGeometry, NvmDevice, WpqFullError, WritePendingQueue
 
 

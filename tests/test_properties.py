@@ -11,7 +11,6 @@ Two invariants define this system's correctness:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

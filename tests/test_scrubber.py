@@ -1,0 +1,174 @@
+"""Background scrubber + quarantine registry behavior."""
+
+import numpy as np
+import pytest
+
+from repro.controller import (
+    MetadataScrubber,
+    QuarantineRegistry,
+    SecureMemoryController,
+)
+
+KB = 1024
+
+
+def make_ctrl(scheme_depth=2, quarantine=True, seed=7):
+    from repro.core import make_controller
+
+    scheme = {1: "baseline", 2: "src"}[scheme_depth]
+    ctrl = make_controller(
+        scheme, 64 * KB, functional_crypto=True, quarantine=quarantine,
+        rng=np.random.default_rng(seed),
+    )
+    for block in range(ctrl.num_data_blocks):
+        ctrl.write(block, bytes([block % 251]) * 64)
+    ctrl.flush()
+    return ctrl
+
+
+def make_cold_baseline(seed=7):
+    """Baseline controller whose counter 0 is persisted but no longer
+    cached — a scrubber cannot repair it from the cache or a clone."""
+    from repro.core import make_controller
+
+    ctrl = make_controller(
+        "baseline", 1024 * KB, functional_crypto=True, quarantine=True,
+        metadata_cache_bytes=2 * KB, rng=np.random.default_rng(seed),
+    )
+    for block in range(64):
+        ctrl.write(block, bytes([block]) * 64)
+    for counter in range(1, ctrl.amap.level_sizes[0]):
+        ctrl.write(counter * 64, bytes(64))
+    ctrl.flush()
+    assert not ctrl.metadata_cache.contains(ctrl.amap.node_addr(1, 0))
+    return ctrl
+
+
+class TestScrubberRepair:
+    def test_tick_runs_passes_at_interval(self):
+        ctrl = make_ctrl()
+        scrubber = MetadataScrubber(ctrl, interval=10)
+        for _ in range(9):
+            assert scrubber.tick(1) is None
+        assert scrubber.tick(1) is not None
+        assert ctrl.stats.scrub_passes == 1
+
+    def test_interval_zero_disables_ticking(self):
+        ctrl = make_ctrl()
+        scrubber = MetadataScrubber(ctrl, interval=0)
+        assert scrubber.tick(1000) is None
+        assert scrubber.passes == 0
+
+    def test_repairs_poisoned_counter_from_clone(self):
+        ctrl = make_ctrl()
+        address = ctrl.amap.node_addr(1, 0)
+        ctrl.nvm.flip_bits(address, [9, 200])
+        ctrl.nvm.poison_block(address)
+        report = MetadataScrubber(ctrl, interval=1).scrub()
+        assert report.repaired == 1
+        assert ctrl.stats.scrub_repairs == 1
+        assert not ctrl.nvm.is_poisoned(address)
+        assert ctrl.read(0).data == bytes([0]) * 64
+
+    def test_repairs_poisoned_clone_from_primary(self):
+        ctrl = make_ctrl()
+        clone = ctrl.amap.clone_addr(1, 0, 1)
+        ctrl.nvm.poison_block(clone)
+        report = MetadataScrubber(ctrl, interval=1).scrub()
+        assert report.repaired == 1
+        assert not ctrl.nvm.is_poisoned(clone)
+
+    def test_repairs_sidecar_mac_block(self):
+        ctrl = make_ctrl()
+        ctrl.nvm.poison_block(ctrl.amap.counter_mac_offset)
+        report = MetadataScrubber(ctrl, interval=1).scrub()
+        assert report.repaired == 1
+        assert ctrl.stats.sidecar_repairs >= 1
+        assert ctrl.read(0).data == bytes([0]) * 64
+
+    def test_clean_pass_reports_nothing(self):
+        ctrl = make_ctrl()
+        report = MetadataScrubber(ctrl, interval=1).scrub()
+        assert (report.scanned, report.repaired, report.quarantined) == (0, 0, 0)
+
+
+class TestRetryAndQuarantine:
+    def test_unrepairable_node_quarantined_after_retries(self):
+        ctrl = make_cold_baseline()   # no clones, counter 0 uncached
+        address = ctrl.amap.node_addr(1, 0)
+        ctrl.nvm.flip_bits(address, [9, 200, 333])
+        ctrl.nvm.poison_block(address)
+        scrubber = MetadataScrubber(ctrl, interval=1, max_retries=3,
+                                    backoff=1)
+        outcomes = [scrubber.scrub() for _ in range(4)]
+        assert sum(r.still_dead for r in outcomes) == 2   # first 2 attempts
+        assert sum(r.quarantined for r in outcomes) == 1  # 3rd gives up
+        assert scrubber.total_quarantined == 1
+        assert ctrl.stats.quarantined_nodes == 1
+        # Fully resolved: later passes skip the quarantined node.
+        assert outcomes[-1].scanned == 0
+
+    def test_backoff_skips_between_attempts(self):
+        ctrl = make_cold_baseline()
+        address = ctrl.amap.node_addr(1, 0)
+        ctrl.nvm.flip_bits(address, [9, 200, 333])
+        ctrl.nvm.poison_block(address)
+        scrubber = MetadataScrubber(ctrl, interval=1, max_retries=3,
+                                    backoff=2)
+        reports = [scrubber.scrub() for _ in range(8)]
+        assert any(r.skipped_backoff for r in reports)
+        assert scrubber.total_quarantined == 1
+
+    def test_validation(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ValueError):
+            MetadataScrubber(ctrl, interval=-1)
+        with pytest.raises(ValueError):
+            MetadataScrubber(ctrl, max_retries=0)
+        with pytest.raises(ValueError):
+            MetadataScrubber(ctrl, backoff=0)
+
+
+class TestQuarantineRegistry:
+    def test_node_coverage_and_lookup(self):
+        ctrl = make_ctrl()
+        registry = QuarantineRegistry(ctrl.amap)
+        entry = registry.add_node(1, 2, "test")
+        assert entry.first_block == 128
+        assert entry.num_blocks == 64
+        assert registry.covers(128)
+        assert registry.covers(191)
+        assert not registry.covers(127)
+        assert not registry.covers(192)
+        assert registry.quarantined_data_bytes == 64 * 64
+
+    def test_duplicate_add_is_noop(self):
+        ctrl = make_ctrl()
+        registry = QuarantineRegistry(ctrl.amap)
+        assert registry.add_node(1, 0, "first") is not None
+        assert registry.add_node(1, 0, "second") is None
+        assert len(registry) == 1
+
+    def test_overlapping_ranges_merge_in_byte_count(self):
+        ctrl = make_ctrl()
+        registry = QuarantineRegistry(ctrl.amap)
+        registry.add_node(1, 0, "counter")   # blocks 0..63
+        registry.add_node(2, 0, "tree")      # blocks 0..511 (superset)
+        assert registry.quarantined_data_bytes == 512 * 64
+
+    def test_report_is_json_friendly(self):
+        import json
+
+        ctrl = make_ctrl()
+        registry = QuarantineRegistry(ctrl.amap)
+        registry.add_node(1, 1, "why")
+        text = json.dumps(registry.report())
+        assert "why" in text
+
+    def test_clear(self):
+        ctrl = make_ctrl()
+        registry = QuarantineRegistry(ctrl.amap)
+        registry.add_node(1, 0, "x")
+        registry.clear()
+        assert len(registry) == 0
+        assert not registry.covers(0)

@@ -126,8 +126,10 @@ class TestCloneWrites:
         base_w = base.stats.nvm_writes_by_kind
         src_w = src.stats.nvm_writes_by_kind
         assert base_w.get("clone", 0) == 0
-        # One clone per counter/tree writeback (evictions + persists).
-        expected_clones = src_w["counter"] + src_w["tree"]
+        # One clone per counter/tree writeback (evictions + persists),
+        # plus one per sidecar-MAC writeback — the sidecar region is
+        # cloned at the counter level's depth.
+        expected_clones = src_w["counter"] + src_w["tree"] + src_w["counter_mac"]
         assert src_w["clone"] == expected_clones
 
     def test_sac_writes_more_clones_than_src_only_for_upper_levels(self):
