@@ -6,29 +6,57 @@ microbenchmarks, SPEC-like) through the trace-driven timing simulator
 under baseline / SRC / SAC and prints the three Figure 10 views:
 execution-time overhead, write overhead, and eviction rates.
 
-Run:  python examples/performance_sweep.py        (~30 s)
+The sweep fans its (workload x scheme) cells through
+``repro.sim.SweepEngine``; ``--jobs N`` runs them on N worker
+processes with output bit-identical to the serial run.
+
+Run:  python examples/performance_sweep.py --jobs 4
 """
 
-from repro.sim import SystemConfig, run_schemes
-from repro.workloads import ctree, hashmap, mcf, pmemkv, ubench
+import argparse
+
+from repro.sim import SimCell, SweepEngine, SystemConfig
+
+SCHEMES = ("baseline", "src", "sac")
+
+#: (factory name, args, kwargs) — picklable so cells can cross
+#: process boundaries.
+WORKLOADS = [
+    ("ctree", (), {"footprint_bytes": 8 << 20, "num_refs": 12_000}),
+    ("hashmap", (), {"footprint_bytes": 8 << 20, "num_refs": 12_000}),
+    ("pmemkv", (0.9,), {"footprint_bytes": 8 << 20, "num_refs": 12_000}),
+    ("ubench", (128,), {"footprint_bytes": 8 << 20, "num_refs": 12_000}),
+    ("mcf", (), {"footprint_bytes": 8 << 20, "num_refs": 12_000}),
+]
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: serial)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (streams + controller keys)")
+    args = parser.parse_args()
+
     config = SystemConfig.scaled(memory_mb=32)
-    factories = [
-        lambda: ctree(footprint_bytes=8 << 20, num_refs=12_000),
-        lambda: hashmap(footprint_bytes=8 << 20, num_refs=12_000),
-        lambda: pmemkv(0.9, footprint_bytes=8 << 20, num_refs=12_000),
-        lambda: ubench(128, footprint_bytes=8 << 20, num_refs=12_000),
-        lambda: mcf(footprint_bytes=8 << 20, num_refs=12_000),
+    cells = [
+        SimCell(workload=spec, scheme=scheme, config=config, seed=args.seed)
+        for spec in WORKLOADS
+        for scheme in SCHEMES
     ]
+    outcomes = SweepEngine(cells, jobs=args.jobs).run()
 
     print("=== Figure 10 (demo scale): Soteria overheads vs baseline ===")
     header = (f"{'workload':>12} {'SRC time':>9} {'SAC time':>9} "
               f"{'SRC writes':>11} {'SAC writes':>11} {'evict/req':>10}")
     print(header)
-    for factory in factories:
-        out = run_schemes(factory, config=config)
+    for row in range(len(WORKLOADS)):
+        per_scheme = outcomes[row * len(SCHEMES):(row + 1) * len(SCHEMES)]
+        if not all(o.ok for o in per_scheme):
+            failed = "; ".join(o.error for o in per_scheme if not o.ok)
+            print(f"{per_scheme[0].label:>12} FAILED: {failed}")
+            continue
+        out = {s: o.result for s, o in zip(SCHEMES, per_scheme)}
         base = out["baseline"]
         print(
             f"{base.workload:>12} "

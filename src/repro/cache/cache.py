@@ -38,6 +38,10 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
+    #: Dirty victims pushed out toward memory.  Incremented in lockstep
+    #: with ``dirty_evictions`` on the access path (explicit
+    #: ``invalidate``/``flush_all`` drops are the caller's writebacks to
+    #: account for), so the two counters always agree.
     writebacks: int = field(default=0)
 
     @property
@@ -126,6 +130,7 @@ class SetAssociativeCache:
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
+                self.stats.writebacks += 1
             eviction = Eviction(
                 address=self.address_of(set_idx, victim_tag),
                 payload=victim.payload,

@@ -43,17 +43,25 @@ class MetadataCacheStats:
 
 
 class _Slot:
-    __slots__ = ("address", "payload", "dirty", "stamp")
+    __slots__ = ("address", "payload", "dirty", "stamp", "way")
 
-    def __init__(self):
+    def __init__(self, way: int = 0):
         self.address = None
         self.payload = None
         self.dirty = False
         self.stamp = 0
+        self.way = way
 
 
 class MetadataCache:
-    """Set-associative LRU cache of metadata payloads with fixed ways."""
+    """Set-associative LRU cache of metadata payloads with fixed ways.
+
+    Lookup is dict-backed (one address->slot map per set) so the hot
+    ``get``/``fill`` path is O(1) instead of an O(ways) tag scan, while
+    the slot objects themselves stay fixed: a block's (set, way) — and
+    hence its ``slot_id`` for the shadow table — is identical to the
+    linear-scan implementation on any access sequence.
+    """
 
     def __init__(
         self,
@@ -66,7 +74,11 @@ class MetadataCache:
         self.ways = ways
         self.line_size = line_size
         self.num_sets = size_bytes // (ways * line_size)
-        self._sets = [[_Slot() for _ in range(ways)] for _ in range(self.num_sets)]
+        self._sets = [
+            [_Slot(way) for way in range(ways)] for _ in range(self.num_sets)
+        ]
+        # Per-set tag index: address -> occupied _Slot.
+        self._index = [{} for _ in range(self.num_sets)]
         self._clock = 0
         self.stats = MetadataCacheStats()
 
@@ -82,11 +94,11 @@ class MetadataCache:
         return set_index * self.ways + way
 
     def _find(self, address: int):
-        set_idx = self.set_index(address)
-        for way, slot in enumerate(self._sets[set_idx]):
-            if slot.address == address:
-                return set_idx, way, slot
-        return set_idx, None, None
+        set_idx = (address // self.line_size) % self.num_sets
+        slot = self._index[set_idx].get(address)
+        if slot is None:
+            return set_idx, None, None
+        return set_idx, slot.way, slot
 
     def contains(self, address: int) -> bool:
         return self._find(address)[2] is not None
@@ -98,7 +110,9 @@ class MetadataCache:
         goes through ``get`` before the controller decides to fill.
         """
         self._clock += 1
-        __, __, slot = self._find(address)
+        slot = self._index[(address // self.line_size) % self.num_sets].get(
+            address
+        )
         if slot is None:
             self.stats.misses += 1
             return None
@@ -132,16 +146,16 @@ class MetadataCache:
             return None
 
         slots = self._sets[set_idx]
-        victim_way, victim = None, None
-        for w, s in enumerate(slots):
+        victim = None
+        for s in slots:
             if s.address is None:
-                victim_way, victim = w, s
+                victim = s
                 break
         eviction = None
         if victim is None:
-            victim_way, victim = min(
-                enumerate(slots), key=lambda pair: pair[1].stamp
-            )
+            # min() keeps the first (lowest-way) slot among stamp ties,
+            # matching the linear-scan implementation exactly.
+            victim = min(slots, key=lambda s: s.stamp)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
@@ -150,12 +164,14 @@ class MetadataCache:
                 payload=victim.payload,
                 dirty=victim.dirty,
                 set_index=set_idx,
-                way=victim_way,
+                way=victim.way,
             )
+            del self._index[set_idx][victim.address]
         victim.address = address
         victim.payload = payload
         victim.dirty = dirty
         victim.stamp = self._clock
+        self._index[set_idx][address] = victim
         return eviction
 
     def mark_dirty(self, address: int) -> None:
@@ -187,6 +203,7 @@ class MetadataCache:
             set_index=set_idx,
             way=way,
         )
+        del self._index[set_idx][slot.address]
         slot.address = None
         slot.payload = None
         slot.dirty = False
@@ -213,6 +230,7 @@ class MetadataCache:
                 slot.payload = None
                 slot.dirty = False
                 slot.stamp = 0
+            self._index[set_idx].clear()
         return records
 
     def resident(self):

@@ -1,14 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's main entry points:
+The main entry points:
 
 * ``info``        — metadata layout and overheads for a memory size;
 * ``perf``        — run workloads through the timing simulator and
   compare schemes (Figure 10 style);
+* ``bench``       — pinned performance sweep; emits ``BENCH_perf.json``
+  (the repo's perf trajectory);
 * ``reliability`` — fault simulation + UDR across FIT rates
   (Figure 11/12 style);
 * ``crash-test``  — functional crash/recovery exercise with optional
   shadow-entry corruption.
+
+``perf``, ``bench``, ``reliability``, and ``chaos`` accept ``--jobs N``
+to fan independent sweep cells across worker processes; outputs are
+bit-identical to ``--jobs 1`` (see ``repro.sim.sweep``).
 """
 
 from __future__ import annotations
@@ -21,8 +27,8 @@ from repro.analysis import compare_schemes, figure12_table, level_inventory
 from repro.core import SCHEMES, make_controller
 from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
 from repro.recovery import OsirisRecovery, RecoveryManager
-from repro.sim import SystemConfig, run_schemes
-from repro.workloads import standard_suite
+from repro.sim import SimCell, SweepEngine, SystemConfig, run_bench, write_bench
+from repro.workloads import make_workload, standard_suite_specs
 
 KB = 1024
 MB = 1024 * KB
@@ -66,45 +72,101 @@ def cmd_info(args) -> int:
 
 def cmd_perf(args) -> int:
     config = SystemConfig.scaled(memory_mb=args.memory_mb)
-    factories = standard_suite(
+    specs = standard_suite_specs(
         footprint_bytes=args.footprint_mb * MB, num_refs=args.refs
     )
+    named = [(make_workload(spec).name, spec) for spec in specs]
     if args.workloads:
         wanted = set(args.workloads)
-        factories = [f for f in factories if f().name in wanted]
-        if not factories:
+        named = [(name, spec) for name, spec in named if name in wanted]
+        if not named:
             print(f"no workloads match {sorted(wanted)}")
             return 1
+    schemes = ("baseline", "src", "sac")
+    cells = [
+        SimCell(workload=spec, scheme=scheme, config=config)
+        for _, spec in named
+        for scheme in schemes
+    ]
+    outcomes = SweepEngine(cells, jobs=args.jobs).run()
     print(f"{'workload':>12} {'SRC time':>9} {'SAC time':>9} "
           f"{'SRC writes':>11} {'SAC writes':>11}")
-    for factory in factories:
-        out = run_schemes(factory, config=config)
+    code = 0
+    for row, (name, _) in enumerate(named):
+        per_scheme = outcomes[row * len(schemes):(row + 1) * len(schemes)]
+        if not all(o.ok for o in per_scheme):
+            errors = "; ".join(o.error for o in per_scheme if not o.ok)
+            print(f"{name:>12} FAILED: {errors}")
+            code = 1
+            continue
+        out = {s: o.result for s, o in zip(schemes, per_scheme)}
         base = out["baseline"]
         print(f"{base.workload:>12} "
               f"{out['src'].slowdown_vs(base) * 100:>8.2f}% "
               f"{out['sac'].slowdown_vs(base) * 100:>8.2f}% "
               f"{out['src'].write_overhead_vs(base) * 100:>10.2f}% "
               f"{out['sac'].write_overhead_vs(base) * 100:>10.2f}%")
-    return 0
+    return code
+
+
+def _reliability_cell(cell):
+    """One FIT-rate point of the reliability sweep (picklable runner)."""
+    fit, trials, repair, seed, size = cell
+    sim = FaultSimulator(
+        FaultSimConfig(fit_per_device=fit, trials=trials, repair=repair,
+                       seed=seed)
+    )
+    result = sim.run(trials_per_k=max(500, trials // 8))
+    udr = compare_schemes(
+        result.p_block_due, size, p_multi_due=result.p_multi_due_cross
+    )
+    return {scheme: r.udr for scheme, r in udr.items()}
+
+
+def cmd_bench(args) -> int:
+    progress = None
+    if not args.quiet:
+        def progress(p):
+            status = "ok" if p.ok else "FAIL"
+            print(f"  [{p.done:>2}/{p.total}] {p.label:<16} {status} "
+                  f"(elapsed {p.elapsed_seconds:5.1f}s, "
+                  f"eta {p.eta_seconds:5.1f}s)")
+    payload = run_bench(
+        refs=args.refs,
+        jobs=args.jobs,
+        seed=args.seed,
+        footprint_mb=args.footprint_mb,
+        memory_mb=args.memory_mb,
+        progress=progress,
+    )
+    path = write_bench(payload, args.out)
+    print(f"serial wall   {payload['serial_wall_s']:8.2f}s")
+    print(f"parallel wall {payload['parallel_wall_s']:8.2f}s "
+          f"({args.jobs} jobs)")
+    print(f"speedup       {payload['speedup']:8.2f}x")
+    print(f"identical outputs (jobs=1 vs jobs={args.jobs}): "
+          f"{'yes' if payload['identical_outputs'] else 'NO'}")
+    print(f"wrote {path}")
+    return 0 if payload["identical_outputs"] else 1
 
 
 def cmd_reliability(args) -> int:
     size = _parse_size(args.size)
+    cells = [
+        (fit, args.trials, args.ecc, args.seed, size) for fit in args.fits
+    ]
+    outcomes = SweepEngine(
+        cells, runner=_reliability_cell, jobs=args.jobs
+    ).run()
     print(f"{'FIT':>4} {'MTBF(h)':>9} {'baseline':>12} {'SRC':>12} {'SAC':>12}")
-    for fit in args.fits:
-        sim = FaultSimulator(
-            FaultSimConfig(
-                fit_per_device=fit, trials=args.trials, repair=args.ecc,
-                seed=args.seed,
-            )
-        )
-        result = sim.run(trials_per_k=max(500, args.trials // 8))
-        udr = compare_schemes(
-            result.p_block_due, size, p_multi_due=result.p_multi_due_cross
-        )
+    for fit, outcome in zip(args.fits, outcomes):
+        if not outcome.ok:
+            print(f"{fit:>4} FAILED: {outcome.error}")
+            continue
+        udr = outcome.result
         print(f"{fit:>4} {mtbf_hours(fit):>9.1f} "
-              f"{udr['baseline'].udr:>12.3e} {udr['src'].udr:>12.3e} "
-              f"{udr['sac'].udr:>12.3e}")
+              f"{udr['baseline']:>12.3e} {udr['src']:>12.3e} "
+              f"{udr['sac']:>12.3e}")
     if args.decompose:
         sim = FaultSimulator(
             FaultSimConfig(fit_per_device=args.fits[-1], trials=args.trials,
@@ -137,7 +199,7 @@ def cmd_chaos(args) -> int:
         enforce_invariant=not args.no_enforce,
     )
     try:
-        report = run_campaign(config)
+        report = run_campaign(config, jobs=args.jobs)
     except SilentCorruptionError as exc:
         print(f"INVARIANT VIOLATED: {exc}")
         return 1
@@ -246,7 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refs", type=int, default=10_000)
     p.add_argument("--workloads", nargs="*", default=None,
                    help="subset of suite names (default: all)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (output identical to --jobs 1)")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "bench",
+        help="pinned 4-workload x 3-scheme sweep; emits BENCH_perf.json",
+    )
+    p.add_argument("--refs", type=int, default=20_000)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes for the parallel leg")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--footprint-mb", type=int, default=8)
+    p.add_argument("--memory-mb", type=int, default=32)
+    p.add_argument("--out", default="BENCH_perf.json")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("reliability", help="FaultSim + UDR sweep")
     p.add_argument("--size", default="1tb")
@@ -258,6 +337,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the Figure 12 loss decomposition")
     p.add_argument("--seed", type=int, default=2021,
                    help="Monte-Carlo seed (same seed -> same table)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes, one FIT point per cell")
     p.set_defaults(func=cmd_reliability)
 
     p = sub.add_parser(
@@ -284,6 +365,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON resilience report here")
     p.add_argument("--no-enforce", action="store_true",
                    help="report violations instead of raising")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes, one campaign run per cell")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("figures", help="regenerate all paper figures as CSV")

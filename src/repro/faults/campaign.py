@@ -312,20 +312,50 @@ def run_single(
 # sweep
 
 
-def run_campaign(config: CampaignConfig = None) -> CampaignReport:
-    """Sweep schemes x targets x scrub intervals; aggregate and audit."""
+def _campaign_cell(cell):
+    """Module-level runner so campaign cells can cross process
+    boundaries (every run is seeded by :func:`_run_seed`, so parallel
+    execution is bit-identical to serial)."""
+    config, scheme, target, interval = cell
+    return run_single(config, scheme, target, interval)
+
+
+def run_campaign(config: CampaignConfig = None, jobs: int = 1,
+                 progress=None) -> CampaignReport:
+    """Sweep schemes x targets x scrub intervals; aggregate and audit.
+
+    ``jobs > 1`` fans the independent (scheme, target, interval) runs
+    across worker processes via :class:`repro.sim.SweepEngine`; results
+    are aggregated in deterministic sweep order either way.
+    """
     config = config or CampaignConfig()
+    cells = [
+        (config, scheme, target, interval)
+        for scheme in config.schemes
+        for target in config.targets
+        for interval in config.scrub_intervals
+    ]
+    from repro.sim.sweep import SweepEngine
+
+    outcomes = SweepEngine(
+        cells, runner=_campaign_cell, jobs=jobs, progress=progress
+    ).run()
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} campaign run(s) failed: "
+            + "; ".join(f"{o.label}: {o.error}" for o in failed[:3])
+        )
+
     runs = []
     poisoned_fractions = {}
-    for scheme in config.schemes:
-        for target in config.targets:
-            for interval in config.scrub_intervals:
-                result = run_single(config, scheme, target, interval)
-                runs.append(result)
-                fraction = result.injector["poisoned_blocks"] / max(
-                    1, config.data_bytes // 64
-                )
-                poisoned_fractions.setdefault(scheme, []).append(fraction)
+    for outcome in outcomes:
+        result = outcome.result
+        runs.append(result)
+        fraction = result.injector["poisoned_blocks"] / max(
+            1, config.data_bytes // 64
+        )
+        poisoned_fractions.setdefault(result.scheme, []).append(fraction)
 
     schemes = {}
     for scheme in config.schemes:

@@ -2,6 +2,29 @@
 
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
+from repro.sim.sweep import (
+    CellOutcome,
+    SimCell,
+    SweepEngine,
+    SweepProgress,
+    bench_cells,
+    run_bench,
+    run_sim_cell,
+    write_bench,
+)
 from repro.sim.system import SecureSystem, run_schemes
 
-__all__ = ["SecureSystem", "SimResult", "SystemConfig", "run_schemes"]
+__all__ = [
+    "CellOutcome",
+    "SecureSystem",
+    "SimCell",
+    "SimResult",
+    "SweepEngine",
+    "SweepProgress",
+    "SystemConfig",
+    "bench_cells",
+    "run_bench",
+    "run_schemes",
+    "run_sim_cell",
+    "write_bench",
+]

@@ -1,0 +1,371 @@
+"""Parallel experiment engine for (workload x scheme x config) sweeps.
+
+Every figure and ablation is a grid of independent simulation cells, so
+the engine is deliberately simple: describe each cell with picklable
+data, fan the cells across ``concurrent.futures.ProcessPoolExecutor``
+workers, and reassemble the results in submission order so the output
+is deterministic regardless of completion order.
+
+Determinism contract: a cell's result is a pure function of the cell
+description (every cell derives its own seed), and ``jobs=1`` executes
+the *same* runner in-process, so ``jobs=1`` and ``jobs=N`` produce
+bit-identical results.  Failures degrade gracefully — a cell that
+raises (or exceeds its wait budget) is retried and, if still failing,
+reported in its :class:`CellOutcome` instead of killing the sweep.
+
+``run_bench`` runs the pinned benchmark sweep (4 workloads x 3 schemes)
+serially and in parallel, verifies bit-equality, and emits
+``BENCH_perf.json`` so the repo accumulates a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import SecureSystem, _workload_seed
+
+
+@dataclass(frozen=True)
+class SimCell:
+    """One picklable point of a performance sweep.
+
+    ``workload`` is a ``(factory_name, args, kwargs)`` triple resolved
+    against :mod:`repro.workloads` inside the worker (closures cannot
+    cross process boundaries).
+    """
+
+    workload: tuple
+    scheme: str
+    config: SystemConfig = None
+    seed: int = 0
+    warmup_refs: int = 0
+
+    @property
+    def label(self) -> str:
+        name, args, _ = self.workload
+        suffix = "".join(str(a) for a in args if isinstance(a, int))
+        return f"{name}{suffix}/{self.scheme}"
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: its result or its failure."""
+
+    index: int
+    label: str
+    ok: bool
+    result: object = None
+    error: str = ""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class SweepProgress:
+    """Snapshot handed to the progress callback after each completion."""
+
+    done: int
+    total: int
+    elapsed_seconds: float
+    eta_seconds: float
+    label: str
+    ok: bool
+
+
+def run_sim_cell(cell: SimCell):
+    """Execute one simulation cell; pure function of the cell."""
+    from repro.workloads import make_workload
+
+    workload = make_workload(cell.workload, seed=_workload_seed(cell.seed))
+    system = SecureSystem(
+        scheme=cell.scheme,
+        config=cell.config,
+        rng=np.random.default_rng(cell.seed),
+    )
+    return system.run(workload, warmup_refs=cell.warmup_refs)
+
+
+def _timed_call(runner, cell):
+    """Worker-side wrapper: (result, in-worker wall seconds)."""
+    start = time.perf_counter()
+    result = runner(cell)
+    return result, time.perf_counter() - start
+
+
+class SweepEngine:
+    """Fan cells across processes; collect deterministic, fault-tolerant
+    results.
+
+    Parameters
+    ----------
+    cells:
+        Sequence of picklable cell descriptions (:class:`SimCell` for
+        performance sweeps; any picklable object for a custom runner).
+    runner:
+        Module-level callable ``runner(cell) -> result``.  Must be
+        picklable and a pure function of the cell for the
+        ``jobs=1 == jobs=N`` determinism guarantee to hold.
+    jobs:
+        Worker processes.  ``jobs <= 1`` runs in-process (same runner,
+        identical results, no pickling requirement).
+    timeout:
+        Per-cell wait budget in seconds once the sweep starts draining
+        completions (None = wait forever).  A cell over budget is
+        cancelled if it has not started, abandoned otherwise; either
+        way it degrades to a failed :class:`CellOutcome`.
+    retries:
+        Extra attempts for a cell whose runner raised.
+    progress:
+        Optional callable receiving a :class:`SweepProgress` after each
+        cell completes (ETA from mean observed cell latency).
+    """
+
+    def __init__(self, cells, runner=run_sim_cell, *, jobs: int = 1,
+                 timeout: float = None, retries: int = 1, progress=None):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.cells = list(cells)
+        self.runner = runner
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+
+    # -- public API ----------------------------------------------------
+
+    def run(self) -> list:
+        """Execute every cell; outcomes in cell order (never raises for
+        a failing cell — inspect ``CellOutcome.ok``)."""
+        if not self.cells:
+            return []
+        if self.jobs == 1:
+            return self._run_serial()
+        return self._run_parallel()
+
+    # -- serial --------------------------------------------------------
+
+    def _run_serial(self) -> list:
+        outcomes = []
+        started = time.perf_counter()
+        for index, cell in enumerate(self.cells):
+            outcome = self._attempt_serial(index, cell)
+            outcomes.append(outcome)
+            self._report(len(outcomes), started, outcome)
+        return outcomes
+
+    def _attempt_serial(self, index: int, cell) -> CellOutcome:
+        label = getattr(cell, "label", str(cell))
+        error = ""
+        for attempt in range(1, self.retries + 2):
+            start = time.perf_counter()
+            try:
+                result = self.runner(cell)
+            except Exception as exc:  # degrade, don't kill the sweep
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            return CellOutcome(
+                index=index, label=label, ok=True, result=result,
+                attempts=attempt,
+                wall_seconds=time.perf_counter() - start,
+            )
+        return CellOutcome(
+            index=index, label=label, ok=False, error=error,
+            attempts=self.retries + 1,
+        )
+
+    # -- parallel ------------------------------------------------------
+
+    def _run_parallel(self) -> list:
+        outcomes = [None] * len(self.cells)
+        attempts = [1] * len(self.cells)
+        started = time.perf_counter()
+        done_count = 0
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            pending = {
+                pool.submit(_timed_call, self.runner, cell): index
+                for index, cell in enumerate(self.cells)
+            }
+            deadlines = {
+                future: (None if self.timeout is None
+                         else started + self.timeout)
+                for future in pending
+            }
+            while pending:
+                finished, _ = wait(
+                    pending, timeout=0.25, return_when=FIRST_COMPLETED
+                )
+                now = time.perf_counter()
+                for future in finished:
+                    index = pending.pop(future)
+                    del deadlines[future]
+                    outcome = self._collect(index, future, attempts)
+                    if outcome is None:  # retry granted
+                        attempts[index] += 1
+                        retry = pool.submit(
+                            _timed_call, self.runner, self.cells[index]
+                        )
+                        pending[retry] = index
+                        deadlines[retry] = (
+                            None if self.timeout is None
+                            else now + self.timeout
+                        )
+                        continue
+                    outcomes[index] = outcome
+                    done_count += 1
+                    self._report(done_count, started, outcome)
+                for future, deadline in list(deadlines.items()):
+                    if deadline is None or now < deadline or future.done():
+                        continue
+                    index = pending.pop(future)
+                    del deadlines[future]
+                    future.cancel()
+                    outcomes[index] = CellOutcome(
+                        index=index,
+                        label=getattr(self.cells[index], "label",
+                                      str(self.cells[index])),
+                        ok=False,
+                        error=f"timeout after {self.timeout:.1f}s",
+                        attempts=attempts[index],
+                    )
+                    done_count += 1
+                    self._report(done_count, started, outcomes[index])
+        finally:
+            # wait=False so an abandoned (timed-out but still running)
+            # worker can't wedge the sweep's exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+    def _collect(self, index: int, future, attempts):
+        """Outcome for a finished future, or None to grant a retry."""
+        label = getattr(self.cells[index], "label", str(self.cells[index]))
+        try:
+            result, wall = future.result()
+        except Exception as exc:
+            if attempts[index] <= self.retries:
+                return None
+            return CellOutcome(
+                index=index, label=label, ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                attempts=attempts[index],
+            )
+        return CellOutcome(
+            index=index, label=label, ok=True, result=result,
+            attempts=attempts[index], wall_seconds=wall,
+        )
+
+    def _report(self, done: int, started: float, outcome: CellOutcome):
+        if self.progress is None:
+            return
+        elapsed = time.perf_counter() - started
+        remaining = len(self.cells) - done
+        eta = (elapsed / done) * remaining if done else 0.0
+        self.progress(SweepProgress(
+            done=done,
+            total=len(self.cells),
+            elapsed_seconds=elapsed,
+            eta_seconds=eta,
+            label=outcome.label,
+            ok=outcome.ok,
+        ))
+
+
+# ----------------------------------------------------------------------
+# pinned benchmark sweep
+
+
+#: The standard bench grid: 4 workloads x 3 schemes.  Pinned so the
+#: BENCH_perf.json trajectory stays comparable across PRs.
+BENCH_WORKLOADS = ("ctree", "hashmap", "ubench", "mcf")
+BENCH_SCHEMES = ("baseline", "src", "sac")
+
+
+def bench_cells(refs: int = 20_000, footprint_mb: int = 8,
+                memory_mb: int = 32, seed: int = 2021) -> list:
+    """The pinned 4-workload x 3-scheme benchmark grid."""
+    config = SystemConfig.scaled(memory_mb=memory_mb)
+    kwargs = {"footprint_bytes": footprint_mb << 20, "num_refs": refs}
+    specs = [
+        ("ctree", (), dict(kwargs)),
+        ("hashmap", (), dict(kwargs)),
+        ("ubench", (128,), dict(kwargs)),
+        ("mcf", (), dict(kwargs)),
+    ]
+    return [
+        SimCell(workload=spec, scheme=scheme, config=config, seed=seed)
+        for spec in specs
+        for scheme in BENCH_SCHEMES
+    ]
+
+
+def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
+              footprint_mb: int = 8, memory_mb: int = 32,
+              progress=None) -> dict:
+    """Run the pinned sweep serially and at ``jobs`` workers.
+
+    Returns the BENCH_perf.json payload: wall-clock and refs/sec per
+    cell, total wall-clock for both runs, the parallel speedup, and a
+    bit-equality verdict between the serial and parallel results.
+    """
+    cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
+                        memory_mb=memory_mb, seed=seed)
+
+    serial_start = time.perf_counter()
+    serial = SweepEngine(cells, jobs=1, progress=progress).run()
+    serial_wall = time.perf_counter() - serial_start
+
+    if jobs > 1:
+        parallel_start = time.perf_counter()
+        parallel = SweepEngine(cells, jobs=jobs, progress=progress).run()
+        parallel_wall = time.perf_counter() - parallel_start
+    else:
+        parallel, parallel_wall = serial, serial_wall
+
+    identical = all(
+        s.ok and p.ok and asdict(s.result) == asdict(p.result)
+        for s, p in zip(serial, parallel)
+    )
+
+    cell_rows = []
+    for cell, s, p in zip(cells, serial, parallel):
+        cell_rows.append({
+            "label": s.label,
+            "workload": cell.workload[0],
+            "scheme": cell.scheme,
+            "ok": s.ok and p.ok,
+            "serial_wall_s": round(s.wall_seconds, 4),
+            "parallel_wall_s": round(p.wall_seconds, 4),
+            "refs_per_s": (
+                round(refs / s.wall_seconds, 1) if s.wall_seconds else None
+            ),
+        })
+
+    return {
+        "schema": "bench_perf/v1",
+        "refs": refs,
+        "jobs": jobs,
+        "seed": seed,
+        "cells": cell_rows,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3)
+        if parallel_wall else None,
+        "identical_outputs": identical,
+        "results": {
+            o.label: asdict(o.result) if o.ok else {"error": o.error}
+            for o in parallel
+        },
+    }
+
+
+def write_bench(payload: dict, path: str = "BENCH_perf.json") -> str:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

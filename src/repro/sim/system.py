@@ -22,11 +22,19 @@ metadata misses as read stalls.
 
 from __future__ import annotations
 
-from repro.cache import CacheHierarchy
+from itertools import islice
+
+import numpy as np
+
+from repro.cache import CacheHierarchy, CacheStats, MetadataCacheStats
 from repro.controller import SecureMemoryController
+from repro.controller.stats import ControllerStats
 from repro.core import make_controller
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
+
+#: References pulled from the workload generator per hot-loop batch.
+REFERENCE_BATCH = 8192
 
 
 class SecureSystem:
@@ -56,6 +64,22 @@ class SecureSystem:
             )
         self.controller = controller
 
+    def reset_measurement_stats(self) -> None:
+        """Zero *every* statistic domain at the warmup checkpoint.
+
+        Measured metrics span four stat owners — the controller, the
+        NVM device counters, the metadata cache, and the CPU cache
+        levels.  All four must reset together, or warmup accesses leak
+        into measured rates (a warm metadata cache would report the
+        warmup's compulsory misses in ``metadata_miss_rate``).
+        """
+        controller = self.controller
+        controller.stats = ControllerStats()
+        controller.nvm.reset_counters()
+        controller.metadata_cache.stats = MetadataCacheStats()
+        for cache in self.hierarchy.caches:
+            cache.stats = CacheStats()
+
     def run(self, workload, warmup_refs: int = 0, op_hook=None) -> SimResult:
         """Run one workload's reference stream to completion.
 
@@ -73,59 +97,66 @@ class SecureSystem:
         """
         config = self.config
         controller = self.controller
-        num_blocks = controller.num_data_blocks
-        data_bytes = num_blocks * 64
+        data_bytes = controller.num_data_blocks * 64
+
+        # Hot-loop hoists: bound methods and per-reference constants.
+        hierarchy_access = self.hierarchy.access
+        controller_read = controller.read
+        controller_write = controller.write
+        read_latency_cycles = config.ns_to_cycles(config.pcm_read_ns)
+        pcm_read_ns = config.pcm_read_ns
+        pcm_write_ns = config.pcm_write_ns
+        zero = bytes(64)
+
+        refs = workload.references()
+        if warmup_refs > 0:
+            for address, is_write, _gap in islice(refs, warmup_refs):
+                address %= data_bytes
+                result = hierarchy_access(address, is_write)
+                if result.memory_read:
+                    controller_read(address // 64)
+                for victim in result.writebacks:
+                    controller_write(victim // 64, zero)
+            # Checkpoint: measurement starts from warmed state.
+            self.reset_measurement_stats()
 
         instructions = 0
         memory_requests = 0
         cpu_cycles = 0.0
         channel_ns = 0.0
-        read_latency_cycles = config.ns_to_cycles(config.pcm_read_ns)
 
-        zero = bytes(64)
-        remaining_warmup = warmup_refs
-        for address, is_write, gap in workload.references():
-            if remaining_warmup > 0:
-                remaining_warmup -= 1
+        while True:
+            # Batched draining keeps the inner loop on a plain list.
+            batch = list(islice(refs, REFERENCE_BATCH))
+            if not batch:
+                break
+            for address, is_write, gap in batch:
+                if op_hook is not None:
+                    op_hook(memory_requests)
                 address %= data_bytes
-                result = self.hierarchy.access(address, is_write)
+                instructions += gap + 1
+                cpu_cycles += gap  # 1 cycle per non-memory instruction
+                memory_requests += 1
+
+                result = hierarchy_access(address, is_write)
+                cpu_cycles += result.latency_cycles
+
+                blocking_reads = 0
+                posted_writes = 0
                 if result.memory_read:
-                    controller.read(address // 64)
+                    read = controller_read(address // 64)
+                    blocking_reads += read.cost.blocking_reads
+                    posted_writes += read.cost.posted_writes
                 for victim in result.writebacks:
-                    controller.write(victim // 64, zero)
-                if remaining_warmup == 0:
-                    # Checkpoint: measurement starts from warmed state.
-                    from repro.controller.stats import ControllerStats
+                    cost = controller_write(victim // 64, zero)
+                    blocking_reads += cost.blocking_reads
+                    posted_writes += cost.posted_writes
 
-                    controller.stats = ControllerStats()
-                    controller.nvm.reset_counters()
-                continue
-            if op_hook is not None:
-                op_hook(memory_requests)
-            address %= data_bytes
-            instructions += gap + 1
-            cpu_cycles += gap  # 1 cycle per non-memory instruction
-            memory_requests += 1
-
-            result = self.hierarchy.access(address, is_write)
-            cpu_cycles += result.latency_cycles
-
-            blocking_reads = 0
-            posted_writes = 0
-            if result.memory_read:
-                read = controller.read(address // 64)
-                blocking_reads += read.cost.blocking_reads
-                posted_writes += read.cost.posted_writes
-            for victim in result.writebacks:
-                cost = controller.write(victim // 64, zero)
-                blocking_reads += cost.blocking_reads
-                posted_writes += cost.posted_writes
-
-            cpu_cycles += blocking_reads * read_latency_cycles
-            channel_ns += (
-                blocking_reads * config.pcm_read_ns
-                + posted_writes * config.pcm_write_ns
-            )
+                cpu_cycles += blocking_reads * read_latency_cycles
+                channel_ns += (
+                    blocking_reads * pcm_read_ns
+                    + posted_writes * pcm_write_ns
+                )
 
         stats = controller.stats
         cpu_ns = cpu_cycles * config.cycle_ns
@@ -146,15 +177,67 @@ class SecureSystem:
         )
 
 
+def _workload_seed(seed: int) -> int:
+    """Stream seed derived from a run seed.
+
+    ``seed + 1`` keeps the historical default: ``run_schemes(seed=0)``
+    reproduces the streams every figure was pinned with
+    (``Workload.seed`` defaults to 1).
+    """
+    return seed + 1
+
+
 def run_schemes(workload_factory, schemes=("baseline", "src", "sac"),
-                config: SystemConfig = None, seed: int = 0) -> dict:
+                config: SystemConfig = None, seed: int = 0,
+                jobs: int = 1) -> dict:
     """Run one workload on several schemes with identical traces.
 
-    ``workload_factory()`` must return a fresh workload each call so
-    every scheme sees the same reference stream.
+    ``workload_factory`` is either a zero-argument callable returning a
+    fresh workload per call, or a picklable ``(name, args, kwargs)``
+    triple (see :func:`repro.workloads.standard_suite_specs`).  The
+    ``seed`` threads into both the workload's reference stream and the
+    controller's key-generation rng, so two calls with the same seed
+    are bit-equal and different seeds draw different streams.
+
+    ``jobs > 1`` fans the schemes across worker processes via
+    :class:`repro.sim.sweep.SweepEngine`; this requires the spec-triple
+    factory form (closures don't cross process boundaries) and returns
+    bit-identical results to ``jobs=1``.
     """
+    from repro.workloads import make_workload
+
+    if jobs > 1:
+        from repro.sim.sweep import SimCell, SweepEngine
+
+        if callable(workload_factory):
+            raise TypeError(
+                "jobs > 1 needs a picklable (name, args, kwargs) workload "
+                "spec; callables cannot cross process boundaries"
+            )
+        cells = [
+            SimCell(workload=workload_factory, scheme=scheme, config=config,
+                    seed=seed)
+            for scheme in schemes
+        ]
+        outcomes = SweepEngine(cells, jobs=jobs).run()
+        results = {}
+        for scheme, outcome in zip(schemes, outcomes):
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"scheme {scheme!r} failed: {outcome.error}"
+                )
+            results[scheme] = outcome.result
+        return results
+
     results = {}
     for scheme in schemes:
-        system = SecureSystem(scheme=scheme, config=config)
-        results[scheme] = system.run(workload_factory())
+        system = SecureSystem(
+            scheme=scheme, config=config, rng=np.random.default_rng(seed)
+        )
+        if callable(workload_factory):
+            workload = workload_factory()
+            workload.seed = _workload_seed(seed)
+        else:
+            workload = make_workload(workload_factory, seed=_workload_seed(seed))
+        results[scheme] = system.run(workload)
     return results

@@ -36,6 +36,52 @@ def standard_suite(footprint_bytes: int = 16 << 20, num_refs: int = 20_000):
     return specs
 
 
+def standard_suite_specs(footprint_bytes: int = 16 << 20,
+                         num_refs: int = 20_000):
+    """The same suite as :func:`standard_suite`, but as picklable
+    ``(factory_name, args, kwargs)`` triples.
+
+    Factory names resolve against this package, so a triple crosses a
+    process boundary (``repro.sim.sweep``) where the suite's closures
+    cannot.
+    """
+    kw = {"footprint_bytes": footprint_bytes, "num_refs": num_refs}
+    return [
+        ("ctree", (), dict(kw)),
+        ("hashmap", (), dict(kw)),
+        ("redo_log", (), dict(kw)),
+        ("tpcc", (), dict(kw)),
+        ("echo", (), dict(kw)),
+        ("pmemkv", (0.9,), dict(kw)),
+        ("pmemkv", (0.1,), dict(kw)),
+        ("ubench", (16,), dict(kw)),
+        ("ubench", (64,), dict(kw)),
+        ("ubench", (128,), dict(kw)),
+        ("mcf", (), dict(kw)),
+        ("lbm", (), dict(kw)),
+        ("libquantum", (), dict(kw)),
+        ("gcc", (), dict(kw)),
+        ("milc", (), dict(kw)),
+    ]
+
+
+def make_workload(spec, seed: int = None) -> Workload:
+    """Build a workload from a ``(factory_name, args, kwargs)`` triple
+    (or return a :class:`Workload` passed straight through), optionally
+    overriding its stream seed."""
+    if isinstance(spec, Workload):
+        workload = spec
+    else:
+        name, args, kwargs = spec
+        factory = globals().get(name)
+        if factory is None or not callable(factory):
+            raise ValueError(f"unknown workload factory {name!r}")
+        workload = factory(*args, **kwargs)
+    if seed is not None:
+        workload.seed = seed
+    return workload
+
+
 __all__ = [
     "Trace",
     "TraceStats",
@@ -47,11 +93,13 @@ __all__ = [
     "hashmap",
     "lbm",
     "libquantum",
+    "make_workload",
     "mcf",
     "milc",
     "pmemkv",
     "redo_log",
     "standard_suite",
+    "standard_suite_specs",
     "tpcc",
     "ubench",
     "ycsb",

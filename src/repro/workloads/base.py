@@ -16,6 +16,7 @@ pointer-chasing / streaming / mixed patterns (SPEC CPU 2006).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 
 import numpy as np
 
@@ -34,6 +35,23 @@ class Workload:
         """Fresh iterator over the (identical) reference stream."""
         rng = np.random.default_rng(self.seed)
         return self.generator(rng, self.footprint_bytes, self.num_refs)
+
+    def reference_batches(self, batch_size: int = 8192):
+        """The same stream, drained into successive lists.
+
+        The simulator's hot loop iterates plain lists instead of
+        resuming a generator frame per reference; ``islice`` pulls each
+        batch in C.  Reference order is identical to
+        :meth:`references`.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        refs = self.references()
+        while True:
+            batch = list(islice(refs, batch_size))
+            if not batch:
+                return
+            yield batch
 
     def materialize(self) -> list:
         """The whole trace as a list (for tests and trace mixing)."""

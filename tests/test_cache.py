@@ -1,5 +1,6 @@
 """Tests for the generic cache, CPU hierarchy, and metadata cache."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,6 +11,7 @@ from repro.cache import (
     MetadataCache,
     SetAssociativeCache,
 )
+from repro.cache.metadata_cache import MetadataCacheStats, MetadataEviction
 
 
 class TestSetAssociativeCache:
@@ -83,6 +85,36 @@ class TestSetAssociativeCache:
             SetAssociativeCache(size_bytes=100, ways=2)
         with pytest.raises(ValueError):
             SetAssociativeCache(size_bytes=0, ways=2)
+
+    def test_writebacks_track_dirty_evictions(self, cache):
+        """Pinned semantics: ``writebacks`` counts dirty victims pushed
+        out on the access path, in lockstep with ``dirty_evictions``
+        (regression: the counter used to be dead, never incremented)."""
+        cache.access(0, is_write=True)
+        cache.access(256)
+        cache.access(512)            # evicts dirty 0 -> writeback
+        assert cache.stats.writebacks == 1
+        assert cache.stats.dirty_evictions == 1
+        cache.access(768)            # evicts clean 256 -> no writeback
+        assert cache.stats.writebacks == 1
+        # Explicit drops (invalidate/flush) hand the dirty line to the
+        # caller; they are not counted as this cache's writebacks.
+        cache.access(0, is_write=True)
+        cache.invalidate(0)
+        cache.access(64, is_write=True)
+        cache.flush_all()
+        assert cache.stats.writebacks == cache.stats.dirty_evictions
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=15), st.booleans()),
+        max_size=300,
+    ))
+    def test_property_writebacks_equal_dirty_evictions(self, ops):
+        cache = SetAssociativeCache(size_bytes=512, ways=2)
+        for block, is_write in ops:
+            cache.access(block * 64, is_write=is_write)
+        assert cache.stats.writebacks == cache.stats.dirty_evictions
 
     @settings(max_examples=30, deadline=None)
     @given(addrs=st.lists(st.integers(min_value=0, max_value=63), max_size=200))
@@ -244,3 +276,173 @@ class TestMetadataCache:
             mcache.fill(addr, block, dirty=dirty)
             assert mcache.contains(addr)
             assert len(mcache) <= 4
+
+
+class _LinearScanMetadataCache:
+    """Reference implementation: the pre-dict-index linear-scan cache.
+
+    Anubis' shadow table mirrors the metadata cache's (set, way) slots
+    one-to-one, so the dict-backed rewrite must assign slots, choose
+    LRU victims, and emit eviction records *identically* to this code
+    on any access sequence.
+    """
+
+    class _Slot:
+        __slots__ = ("address", "payload", "dirty", "stamp")
+
+        def __init__(self):
+            self.address = None
+            self.payload = None
+            self.dirty = False
+            self.stamp = 0
+
+    def __init__(self, size_bytes, ways, line_size=64):
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self._sets = [
+            [self._Slot() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        self._clock = 0
+        self.stats = MetadataCacheStats()
+
+    def set_index(self, address):
+        return (address // self.line_size) % self.num_sets
+
+    def _find(self, address):
+        set_idx = self.set_index(address)
+        for way, slot in enumerate(self._sets[set_idx]):
+            if slot.address == address:
+                return set_idx, way, slot
+        return set_idx, None, None
+
+    def get(self, address):
+        self._clock += 1
+        __, __, slot = self._find(address)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        slot.stamp = self._clock
+        return slot.payload
+
+    def location_of(self, address):
+        set_idx, way, slot = self._find(address)
+        return (set_idx, way) if slot is not None else None
+
+    def fill(self, address, payload, dirty=False):
+        self._clock += 1
+        set_idx, way, slot = self._find(address)
+        if slot is not None:
+            slot.payload = payload
+            slot.dirty = slot.dirty or dirty
+            slot.stamp = self._clock
+            return None
+        slots = self._sets[set_idx]
+        victim_way, victim = None, None
+        for w, s in enumerate(slots):
+            if s.address is None:
+                victim_way, victim = w, s
+                break
+        eviction = None
+        if victim is None:
+            victim_way, victim = min(
+                enumerate(slots), key=lambda pair: pair[1].stamp
+            )
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            eviction = MetadataEviction(
+                address=victim.address,
+                payload=victim.payload,
+                dirty=victim.dirty,
+                set_index=set_idx,
+                way=victim_way,
+            )
+        victim.address = address
+        victim.payload = payload
+        victim.dirty = dirty
+        victim.stamp = self._clock
+        return eviction
+
+    def mark_dirty(self, address):
+        self._find(address)[2].dirty = True
+
+    def mark_clean(self, address):
+        self._find(address)[2].dirty = False
+
+    def invalidate(self, address):
+        set_idx, way, slot = self._find(address)
+        if slot is None:
+            return None
+        record = MetadataEviction(
+            address=slot.address, payload=slot.payload, dirty=slot.dirty,
+            set_index=set_idx, way=way,
+        )
+        slot.address = None
+        slot.payload = None
+        slot.dirty = False
+        slot.stamp = 0
+        return record
+
+    def resident(self):
+        out = []
+        for slots in self._sets:
+            out.extend(
+                (s.address, s.payload, s.dirty)
+                for s in slots if s.address is not None
+            )
+        return sorted(out, key=lambda t: t[0])
+
+
+class TestMetadataCacheSlotStability:
+    """Property: the dict-backed cache is observationally identical to
+    the linear-scan reference on randomized traces — (set, way)/slot_id
+    assignments, LRU victim choice, eviction records, and stats."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("ways,size", [(2, 256), (4, 1024), (8, 4096)])
+    def test_randomized_trace_equivalence(self, seed, ways, size):
+        rng = np.random.default_rng(seed)
+        fast = MetadataCache(size_bytes=size, ways=ways)
+        reference = _LinearScanMetadataCache(size, ways)
+        # More distinct blocks than slots so evictions are frequent.
+        num_blocks = 4 * fast.num_slots
+        resident = set()
+        for step in range(3000):
+            address = int(rng.integers(0, num_blocks)) * 64
+            op = rng.random()
+            if op < 0.45:
+                assert fast.get(address) == reference.get(address)
+            elif op < 0.85:
+                dirty = bool(rng.random() < 0.5)
+                got = fast.fill(address, step, dirty=dirty)
+                want = reference.fill(address, step, dirty=dirty)
+                assert got == want  # same victim slot, payload, dirty bit
+                if want is not None:
+                    resident.discard(want.address)
+                resident.add(address)
+            elif op < 0.9 and resident:
+                target = min(resident)
+                fast.mark_dirty(target)
+                reference.mark_dirty(target)
+            elif op < 0.95:
+                got = fast.invalidate(address)
+                want = reference.invalidate(address)
+                assert got == want
+                resident.discard(address)
+            else:
+                assert fast.location_of(address) == reference.location_of(
+                    address
+                )
+            # The shadow table's view: every resident block occupies the
+            # exact same (set, way) slot in both implementations.
+            for target in resident:
+                location = fast.location_of(target)
+                assert location == reference.location_of(target)
+                assert fast.slot_id(*location) == (
+                    location[0] * ways + location[1]
+                )
+        assert fast.resident() == reference.resident()
+        assert fast.stats == reference.stats
+        assert len(fast) == len(resident)

@@ -1,5 +1,7 @@
 """Tests for the trace-driven timing simulator."""
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.sim import SecureSystem, SimResult, SystemConfig, run_schemes
@@ -124,6 +126,72 @@ class TestSecureSystem:
         )
         assert result.memory_requests == 0
         assert result.exec_time_ns == 0.0
+
+    def test_warmup_resets_every_stat_domain(self, config):
+        """Regression: the warmup checkpoint used to reset only the
+        controller stats and NVM counters, so warmup accesses leaked
+        into ``metadata_miss_rate`` and the CPU cache hit rates."""
+        system = SecureSystem("baseline", config=config)
+        system.run(
+            gcc(footprint_bytes=1 << 20, num_refs=200), warmup_refs=200
+        )
+        # The whole trace was warmup: every measured stat domain is zero.
+        assert system.controller.metadata_cache.stats.accesses == 0
+        assert system.controller.stats.total_nvm_reads == 0
+        assert system.controller.nvm.read_count == 0
+        for cache in system.hierarchy.caches:
+            assert cache.stats.accesses == 0
+
+    def test_warmup_miss_rate_excludes_cold_start(self, config):
+        """The measured metadata miss rate must come from the warmed
+        window only — it cannot equal the cold full-trace rate, and the
+        measured access count must cover just the measured window."""
+        cold_system = SecureSystem("baseline", config=config)
+        cold_system.run(gcc(footprint_bytes=1 << 20, num_refs=4000))
+        cold_accesses = cold_system.controller.metadata_cache.stats.accesses
+
+        warm_system = SecureSystem("baseline", config=config)
+        warmed = warm_system.run(
+            gcc(footprint_bytes=1 << 20, num_refs=4000), warmup_refs=2000
+        )
+        warm_stats = warm_system.controller.metadata_cache.stats
+        assert 0 < warm_stats.accesses < cold_accesses
+        assert warmed.metadata_miss_rate == warm_stats.miss_rate
+
+    def test_run_schemes_seed_is_reproducible(self, config):
+        """Regression: ``run_schemes`` used to accept ``seed`` and
+        silently ignore it.  Same seed -> bit-equal results; different
+        seeds -> different traces (gcc draws addresses from the rng)."""
+        factory = lambda: gcc(footprint_bytes=1 << 20, num_refs=1500)  # noqa: E731
+        a = run_schemes(factory, config=config, seed=42)
+        b = run_schemes(factory, config=config, seed=42)
+        c = run_schemes(factory, config=config, seed=43)
+        assert {k: asdict(v) for k, v in a.items()} == {
+            k: asdict(v) for k, v in b.items()
+        }
+        assert asdict(a["baseline"]) != asdict(c["baseline"])
+
+    def test_run_schemes_default_seed_preserves_pinned_streams(self, config):
+        """seed=0 (the default) must reproduce the historical default
+        workload stream (Workload.seed == 1) the figures are pinned to."""
+        direct = SecureSystem("baseline", config=config).run(
+            gcc(footprint_bytes=1 << 20, num_refs=1500)
+        )
+        threaded = run_schemes(
+            lambda: gcc(footprint_bytes=1 << 20, num_refs=1500),
+            schemes=("baseline",), config=config,
+        )
+        assert asdict(direct) == asdict(threaded["baseline"])
+
+    def test_reference_batches_match_stream(self):
+        workload = gcc(footprint_bytes=1 << 20, num_refs=1000)
+        flat = [
+            ref for batch in workload.reference_batches(batch_size=64)
+            for ref in batch
+        ]
+        assert flat == workload.materialize()
+        with pytest.raises(ValueError):
+            next(workload.reference_batches(batch_size=0))
 
     def test_functional_crypto_mode_matches_fast_mode_traffic(self, config):
         fast = SecureSystem("src", config=config, functional_crypto=False).run(
