@@ -9,9 +9,10 @@ nodes) so the functional secure-memory model operates on cached copies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constants import CACHELINE_BYTES
+from repro.telemetry import CounterMetric
 
 
 @dataclass
@@ -32,17 +33,53 @@ class Eviction:
     dirty: bool
 
 
-@dataclass
+def _counter_field(attr):
+    """Property pair exposing a CounterMetric as a plain-int field."""
+
+    def fget(self):
+        return getattr(self, attr).n
+
+    def fset(self, value):
+        getattr(self, attr).n = value
+
+    return property(fget, fset)
+
+
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
-    #: Dirty victims pushed out toward memory.  Incremented in lockstep
-    #: with ``dirty_evictions`` on the access path (explicit
-    #: ``invalidate``/``flush_all`` drops are the caller's writebacks to
-    #: account for), so the two counters always agree.
-    writebacks: int = field(default=0)
+    """Per-cache counters, backed by registry instruments.
+
+    The historical dataclass field names (``hits``, ``misses``, ...)
+    are preserved as read/write properties over
+    :class:`~repro.telemetry.CounterMetric` instruments, so every
+    existing consumer keeps working while registry-wide
+    ``snapshot()``/``reset()`` cover this domain by construction.
+    """
+
+    FIELDS = ("hits", "misses", "evictions", "dirty_evictions", "writebacks")
+
+    _HELP = {
+        "hits": "accesses served by a resident line",
+        "misses": "accesses that required a fill",
+        "evictions": "victims pushed out by fills",
+        "dirty_evictions": "evicted victims carrying unwritten state",
+        # Incremented in lockstep with dirty_evictions on the access
+        # path (explicit invalidate/flush_all drops are the caller's
+        # writebacks to account for), so the two counters always agree.
+        "writebacks": "dirty victims pushed out toward memory",
+    }
+
+    def __init__(self, registry=None, prefix: str = "cache"):
+        for name in self.FIELDS:
+            metric = CounterMetric(f"{prefix}.{name}", help=self._HELP[name])
+            if registry is not None:
+                registry.register(metric)
+            setattr(self, f"_{name}", metric)
+
+    hits = _counter_field("_hits")
+    misses = _counter_field("_misses")
+    evictions = _counter_field("_evictions")
+    dirty_evictions = _counter_field("_dirty_evictions")
+    writebacks = _counter_field("_writebacks")
 
     @property
     def accesses(self) -> int:
@@ -51,6 +88,24 @@ class CacheStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def metrics(self) -> tuple:
+        """The instruments backing this view (adoption / iteration)."""
+        return tuple(getattr(self, f"_{name}") for name in self.FIELDS)
+
+    def _values(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.FIELDS)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in zip(self.FIELDS, self._values())
+        )
+        return f"CacheStats({inner})"
 
 
 class SetAssociativeCache:
@@ -62,6 +117,7 @@ class SetAssociativeCache:
         ways: int,
         line_size: int = CACHELINE_BYTES,
         name: str = "cache",
+        registry=None,
     ):
         if size_bytes <= 0 or ways <= 0 or line_size <= 0:
             raise ValueError("size, ways and line size must be positive")
@@ -74,7 +130,14 @@ class SetAssociativeCache:
         self.name = name
         # One OrderedDict per set: key = tag, order = LRU (oldest first).
         self._sets = [OrderedDict() for _ in range(self.num_sets)]
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry=registry, prefix=f"cache.{name}")
+        # Hot-loop hoists: direct instrument references keep the access
+        # path at plain-attribute-store cost.
+        self._hits = self.stats._hits
+        self._misses = self.stats._misses
+        self._evictions = self.stats._evictions
+        self._dirty_evictions = self.stats._dirty_evictions
+        self._writebacks = self.stats._writebacks
 
     # ---- address arithmetic ----
 
@@ -115,7 +178,7 @@ class SetAssociativeCache:
         lines = self._sets[set_idx]
 
         if tag in lines:
-            self.stats.hits += 1
+            self._hits.n += 1
             line = lines.pop(tag)
             if payload is not None:
                 line.payload = payload
@@ -123,14 +186,14 @@ class SetAssociativeCache:
             lines[tag] = line  # re-insert as MRU
             return True, None
 
-        self.stats.misses += 1
+        self._misses.n += 1
         eviction = None
         if len(lines) >= self.ways:
             victim_tag, victim = lines.popitem(last=False)
-            self.stats.evictions += 1
+            self._evictions.n += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
-                self.stats.writebacks += 1
+                self._dirty_evictions.n += 1
+                self._writebacks.n += 1
             eviction = Eviction(
                 address=self.address_of(set_idx, victim_tag),
                 payload=victim.payload,

@@ -46,12 +46,19 @@ class HierarchyResult:
 class CacheHierarchy:
     """Multi-level write-back hierarchy in front of the memory controller."""
 
-    def __init__(self, levels=TABLE3_LEVELS, line_size: int = CACHELINE_BYTES):
+    def __init__(
+        self,
+        levels=TABLE3_LEVELS,
+        line_size: int = CACHELINE_BYTES,
+        registry=None,
+    ):
         if not levels:
             raise ValueError("at least one cache level required")
         self.configs = list(levels)
         self.caches = [
-            SetAssociativeCache(c.size_bytes, c.ways, line_size, name=c.name)
+            SetAssociativeCache(
+                c.size_bytes, c.ways, line_size, name=c.name, registry=registry
+            )
             for c in self.configs
         ]
         self.line_size = line_size

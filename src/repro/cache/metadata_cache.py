@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import CACHELINE_BYTES
+from repro.telemetry import CounterMetric
 
 
 @dataclass
@@ -26,12 +27,45 @@ class MetadataEviction:
     way: int
 
 
-@dataclass
+def _counter_field(attr):
+    """Property pair exposing a CounterMetric as a plain-int field."""
+
+    def fget(self):
+        return getattr(self, attr).n
+
+    def fset(self, value):
+        getattr(self, attr).n = value
+
+    return property(fget, fset)
+
+
 class MetadataCacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
+    """Metadata-cache counters as a thin view over registry instruments.
+
+    Field names match the historical dataclass so consumers (and the
+    linear-scan reference implementation in the tests) are unchanged.
+    """
+
+    FIELDS = ("hits", "misses", "evictions", "dirty_evictions")
+
+    _HELP = {
+        "hits": "metadata lookups served from the cache",
+        "misses": "metadata lookups that required an NVM fetch",
+        "evictions": "metadata blocks displaced by fills",
+        "dirty_evictions": "displaced blocks needing lazy-update writeback",
+    }
+
+    def __init__(self, registry=None, prefix: str = "metadata_cache"):
+        for name in self.FIELDS:
+            metric = CounterMetric(f"{prefix}.{name}", help=self._HELP[name])
+            if registry is not None:
+                registry.register(metric)
+            setattr(self, f"_{name}", metric)
+
+    hits = _counter_field("_hits")
+    misses = _counter_field("_misses")
+    evictions = _counter_field("_evictions")
+    dirty_evictions = _counter_field("_dirty_evictions")
 
     @property
     def accesses(self) -> int:
@@ -40,6 +74,23 @@ class MetadataCacheStats:
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def metrics(self) -> tuple:
+        return tuple(getattr(self, f"_{name}") for name in self.FIELDS)
+
+    def _values(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.FIELDS)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MetadataCacheStats):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}" for name, value in zip(self.FIELDS, self._values())
+        )
+        return f"MetadataCacheStats({inner})"
 
 
 class _Slot:
@@ -68,6 +119,7 @@ class MetadataCache:
         size_bytes: int = 512 * 1024,
         ways: int = 8,
         line_size: int = CACHELINE_BYTES,
+        registry=None,
     ):
         if size_bytes % (ways * line_size) != 0:
             raise ValueError("size must be a multiple of ways * line_size")
@@ -80,7 +132,13 @@ class MetadataCache:
         # Per-set tag index: address -> occupied _Slot.
         self._index = [{} for _ in range(self.num_sets)]
         self._clock = 0
-        self.stats = MetadataCacheStats()
+        self.stats = MetadataCacheStats(registry=registry)
+        # Hot-loop hoists: direct instrument references keep get/fill at
+        # plain-attribute-store cost.
+        self._st_hits = self.stats._hits
+        self._st_misses = self.stats._misses
+        self._st_evictions = self.stats._evictions
+        self._st_dirty_evictions = self.stats._dirty_evictions
 
     @property
     def num_slots(self) -> int:
@@ -114,9 +172,9 @@ class MetadataCache:
             address
         )
         if slot is None:
-            self.stats.misses += 1
+            self._st_misses.n += 1
             return None
-        self.stats.hits += 1
+        self._st_hits.n += 1
         slot.stamp = self._clock
         return slot.payload
 
@@ -156,9 +214,9 @@ class MetadataCache:
             # min() keeps the first (lowest-way) slot among stamp ties,
             # matching the linear-scan implementation exactly.
             victim = min(slots, key=lambda s: s.stamp)
-            self.stats.evictions += 1
+            self._st_evictions.n += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
+                self._st_dirty_evictions.n += 1
             eviction = MetadataEviction(
                 address=victim.address,
                 payload=victim.payload,

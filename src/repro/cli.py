@@ -231,6 +231,20 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Export telemetry metadata (currently: the metric manifest)."""
+    from repro.telemetry import manifest_json
+
+    text = manifest_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_crash_test(args) -> int:
     ctrl = make_controller(
         args.scheme,
@@ -368,6 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one campaign run per cell")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="telemetry metric manifest (schema-stamped, sorted JSON)",
+    )
+    p.add_argument("--manifest", action="store_true", default=True,
+                   help="emit the metric manifest (default action)")
+    p.add_argument("--out", default=None,
+                   help="write to a file instead of stdout")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("figures", help="regenerate all paper figures as CSV")
     p.add_argument("--out", default="results",

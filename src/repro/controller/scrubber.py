@@ -119,6 +119,16 @@ class MetadataScrubber:
                     report.pass_index + self.backoff ** failures,
                 )
                 report.still_dead += 1
+        tracer = getattr(ctrl, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "scrub",
+                pass_index=report.pass_index,
+                scanned=report.scanned,
+                repaired=report.repaired,
+                still_dead=report.still_dead,
+                quarantined=report.quarantined,
+            )
         return report
 
     # ------------------------------------------------------------------

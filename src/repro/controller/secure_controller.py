@@ -41,6 +41,7 @@ from repro.controller.stats import ControllerStats, OpCost
 from repro.counters import SplitCounterBlock, TocNode
 from repro.crypto import CounterModeEngine, MacEngine, Prf
 from repro.memory import AddressMap, NvmDevice, WritePendingQueue, tree_level_sizes
+from repro.telemetry import Tracer
 from repro.tree import ZERO_DIGEST, BmtAuthenticator, BmtNode, TocAuthenticator
 
 ZERO_MAC = b"\x00" * MAC_BYTES
@@ -107,6 +108,8 @@ class SecureMemoryController:
         quarantine: bool = False,
         rng=None,
         trusted: TrustedState = None,
+        registry=None,
+        tracer: Tracer = None,
     ):
         if update_policy not in ("lazy", "eager"):
             raise ValueError(
@@ -137,9 +140,15 @@ class SecureMemoryController:
         #: table).  Section 2.5 / 6.1.
         self.integrity_mode = integrity_mode
 
+        #: Structured per-op trace hook; instrumented sites check one
+        #: ``enabled`` attribute, so tracing-disabled runs pay nothing.
+        self.tracer = tracer if tracer is not None else Tracer()
+
         num_levels = len(tree_level_sizes(data_bytes // 64))
         depth_map = self.clone_policy.depth_map(num_levels)
-        self._mcache = MetadataCache(metadata_cache_bytes, metadata_ways)
+        self._mcache = MetadataCache(
+            metadata_cache_bytes, metadata_ways, registry=registry
+        )
         self.amap = AddressMap(
             data_bytes,
             clone_depths=depth_map,
@@ -158,6 +167,10 @@ class SecureMemoryController:
                 f"space {self.amap.total_bytes}"
             )
         self.nvm = nvm
+        if registry is not None:
+            # Devices may pre-date the registry (crash images reuse the
+            # survivor); adopt skips already-registered instruments.
+            registry.adopt(nvm.metrics())
         self._wpq = WritePendingQueue(nvm, capacity=wpq_entries)
 
         if trusted is None:
@@ -183,7 +196,7 @@ class SecureMemoryController:
             self.shadow_codec,
             functional=functional_crypto,
         )
-        self.stats = ControllerStats()
+        self.stats = ControllerStats(registry=registry)
         #: Degraded-mode registry (None = classic drop-and-lock: a dead
         #: node raises IntegrityError on every access it covers).
         self.quarantine = QuarantineRegistry(self.amap) if quarantine else None
@@ -213,6 +226,8 @@ class SecureMemoryController:
         cost = OpCost()
         self.stats.data_reads += 1
         address = self.amap.data_addr(block_index)
+        if self.tracer.enabled:
+            self.tracer.emit("demand_read", block=block_index, address=address)
         self._check_quarantine(block_index, address)
         entry = self._get_counter(self.amap.counter_index_of_data(block_index), cost)
         counter = entry.block.effective_counter(
@@ -458,6 +473,8 @@ class SecureMemoryController:
         """
         if self.quarantine is None:
             return None
+        if self.tracer.enabled:
+            self.tracer.emit("quarantine", level=level, index=index, reason=reason)
         if level == 0:
             return self._quarantine_sidecar(index, reason)
         entry = self.quarantine.add_node(level, index, reason)
@@ -810,6 +827,8 @@ class SecureMemoryController:
     def _purify(self, level: int, index: int, good_bytes: bytes, cost: OpCost) -> None:
         """Rewrite every copy of a node with the verified value."""
         self.stats.clone_repairs += 1
+        if self.tracer.enabled:
+            self.tracer.emit("clone_repair", level=level, index=index)
         addresses = self.amap.all_copies(level, index)
         self._enqueue_atomic(
             [(address, good_bytes) for address in addresses],
@@ -912,6 +931,8 @@ class SecureMemoryController:
     def _purify_sidecar(self, sidecar_index: int, good_bytes: bytes, cost: OpCost) -> None:
         """Rewrite every copy of a sidecar MAC block with trusted bytes."""
         self.stats.sidecar_repairs += 1
+        if self.tracer.enabled:
+            self.tracer.emit("sidecar_repair", sidecar=sidecar_index)
         addresses = self.amap.counter_mac_copies(sidecar_index)
         self._enqueue_atomic(
             [(address, good_bytes) for address in addresses],
@@ -952,6 +973,12 @@ class SecureMemoryController:
     # ------------------------------------------------------------------
 
     def _fill_metadata(self, address: int, payload, dirty: bool, cost: OpCost) -> None:
+        if self.tracer.enabled:
+            # Every miss-path fetch funnels through here, so one emit
+            # site covers counters, tree nodes, and data-MAC blocks.
+            self.tracer.emit(
+                "metadata_miss", address=address, region=self.amap.region_of(address)
+            )
         eviction = self._mcache.fill(address, payload, dirty)
         if eviction is not None:
             # The slot changes hands *now*: kill the departing block's
@@ -1004,6 +1031,10 @@ class SecureMemoryController:
         return eviction.payload
 
     def _process_eviction(self, eviction, cost: OpCost) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "metadata_eviction", address=eviction.address, dirty=eviction.dirty
+            )
         region = self.amap.region_of(eviction.address)
         if region[0] == "mac":
             # Data-MAC blocks are write-through, never dirty.

@@ -42,6 +42,7 @@ from repro.controller import (
 )
 from repro.core import make_controller
 from repro.faults.injector import INJECTION_TARGETS, FaultInjector
+from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
 
 
 class SilentCorruptionError(AssertionError):
@@ -129,6 +130,7 @@ class CampaignReport:
 
     def to_dict(self) -> dict:
         return {
+            "telemetry_schema": TELEMETRY_SCHEMA,
             "config": self.config,
             "runs": self.runs,
             "schemes": self.schemes,

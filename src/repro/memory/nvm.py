@@ -13,12 +13,19 @@ errors that the fault simulator produces.
 from __future__ import annotations
 
 from repro.constants import CACHELINE_BYTES, PCM_READ_NS, PCM_WRITE_NS
+from repro.telemetry import CounterMetric
 
 ZERO_BLOCK = bytes(CACHELINE_BYTES)
 
 
 class NvmDevice:
-    """A sparse block-granular NVM with fault-injection hooks."""
+    """A sparse block-granular NVM with fault-injection hooks.
+
+    Block read/write totals are registry instruments (``nvm.reads`` /
+    ``nvm.writes``); ``read_count``/``write_count`` remain as field
+    views.  A device is usually built before the enclosing system's
+    registry exists, so the system adopts :meth:`metrics` afterwards.
+    """
 
     def __init__(
         self,
@@ -26,6 +33,7 @@ class NvmDevice:
         read_ns: float = PCM_READ_NS,
         write_ns: float = PCM_WRITE_NS,
         block_size: int = CACHELINE_BYTES,
+        registry=None,
     ):
         if capacity_bytes <= 0 or capacity_bytes % block_size != 0:
             raise ValueError("capacity must be a positive multiple of block size")
@@ -35,9 +43,32 @@ class NvmDevice:
         self.write_ns = write_ns
         self._blocks: dict[int, bytes] = {}
         self._poisoned: set[int] = set()
-        self.read_count = 0
-        self.write_count = 0
+        self._reads = CounterMetric("nvm.reads", help="block reads issued to the device")
+        self._writes = CounterMetric("nvm.writes", help="block writes issued to the device")
+        if registry is not None:
+            registry.register(self._reads)
+            registry.register(self._writes)
         self._write_counts: dict[int, int] = {}
+
+    @property
+    def read_count(self) -> int:
+        return self._reads.n
+
+    @read_count.setter
+    def read_count(self, value: int) -> None:
+        self._reads.n = value
+
+    @property
+    def write_count(self) -> int:
+        return self._writes.n
+
+    @write_count.setter
+    def write_count(self, value: int) -> None:
+        self._writes.n = value
+
+    def metrics(self) -> tuple:
+        """The instruments backing this device (adoption / iteration)."""
+        return (self._reads, self._writes)
 
     @property
     def num_blocks(self) -> int:
@@ -46,7 +77,7 @@ class NvmDevice:
     def read_block(self, address: int) -> bytes:
         """Read the 64-byte block at ``address`` (block-aligned)."""
         self._check_address(address)
-        self.read_count += 1
+        self._reads.n += 1
         return self._blocks.get(address, ZERO_BLOCK)
 
     def write_block(self, address: int, data: bytes) -> None:
@@ -57,7 +88,7 @@ class NvmDevice:
             raise ValueError(
                 f"data must be {self.block_size} bytes, got {len(data)}"
             )
-        self.write_count += 1
+        self._writes.n += 1
         self._write_counts[address] = self._write_counts.get(address, 0) + 1
         self._blocks[address] = bytes(data)
         self._poisoned.discard(address)
@@ -143,8 +174,8 @@ class NvmDevice:
         }
 
     def reset_counters(self) -> None:
-        self.read_count = 0
-        self.write_count = 0
+        self._reads.reset()
+        self._writes.reset()
 
     def _check_address(self, address: int) -> None:
         if address % self.block_size != 0:

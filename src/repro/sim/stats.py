@@ -18,10 +18,14 @@ class SimResult:
     exec_time_ns: float          # max(cpu path, channel occupancy)
     nvm_reads: int
     nvm_writes: int
-    writes_by_kind: dict = field(default_factory=dict)
-    reads_by_kind: dict = field(default_factory=dict)
-    evictions_by_level: dict = field(default_factory=dict)
+    writes_by_kind: dict[str, int] = field(default_factory=dict)
+    reads_by_kind: dict[str, int] = field(default_factory=dict)
+    evictions_by_level: dict[int, int] = field(default_factory=dict)
     metadata_miss_rate: float = 0.0
+    #: Per-request latency digests keyed by request kind ("read" /
+    #: "write"); each digest is a histogram summary with count, mean,
+    #: p50, p95, p99 in nanoseconds.
+    latency_ns: dict[str, dict] = field(default_factory=dict)
 
     @property
     def evictions_per_request(self) -> float:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.sim.config import SystemConfig
 from repro.sim.system import SecureSystem, _workload_seed
+from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
 
 
 @dataclass(frozen=True)
@@ -334,6 +335,7 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
 
     cell_rows = []
     for cell, s, p in zip(cells, serial, parallel):
+        latency = s.result.latency_ns if s.ok else {}
         cell_rows.append({
             "label": s.label,
             "workload": cell.workload[0],
@@ -344,10 +346,15 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
             "refs_per_s": (
                 round(refs / s.wall_seconds, 1) if s.wall_seconds else None
             ),
+            "read_p95_ns": latency.get("read", {}).get("p95"),
+            "write_p95_ns": latency.get("write", {}).get("p95"),
         })
 
     return {
-        "schema": "bench_perf/v1",
+        # v2: adds telemetry_schema, per-cell p95 latency, and
+        # latency_ns digests inside each result.
+        "schema": "bench_perf/v2",
+        "telemetry_schema": TELEMETRY_SCHEMA,
         "refs": refs,
         "jobs": jobs,
         "seed": seed,

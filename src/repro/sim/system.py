@@ -26,15 +26,20 @@ from itertools import islice
 
 import numpy as np
 
-from repro.cache import CacheHierarchy, CacheStats, MetadataCacheStats
+from repro.cache import CacheHierarchy
 from repro.controller import SecureMemoryController
-from repro.controller.stats import ControllerStats
 from repro.core import make_controller
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
+from repro.telemetry import MetricRegistry
 
 #: References pulled from the workload generator per hot-loop batch.
 REFERENCE_BATCH = 8192
+
+#: Per-request latency bucket edges (ns), geometric 2ns .. 16384ns.
+#: The span covers an L1 hit (~2ns at 3.2GHz) up to a worst-case
+#: metadata fetch chain (tens of serialized PCM reads).
+LATENCY_BUCKETS_NS = tuple(float(2 ** k) for k in range(1, 15))
 
 
 class SecureSystem:
@@ -50,7 +55,13 @@ class SecureSystem:
     ):
         self.config = config or SystemConfig.scaled()
         self.scheme = scheme
-        self.hierarchy = CacheHierarchy(levels=self.config.cache_levels)
+        #: One registry per system: every stat domain (CPU caches,
+        #: metadata cache, controller, NVM device, latency histograms)
+        #: registers its instruments here by construction.
+        self.registry = MetricRegistry()
+        self.hierarchy = CacheHierarchy(
+            levels=self.config.cache_levels, registry=self.registry
+        )
         if controller is None:
             controller = make_controller(
                 scheme,
@@ -61,24 +72,38 @@ class SecureSystem:
                 osiris_limit=self.config.osiris_limit,
                 functional_crypto=functional_crypto,
                 rng=rng,
+                registry=self.registry,
             )
+        else:
+            # A pre-built controller (e.g. a crash-recovery survivor)
+            # registered nothing; adopt its instruments so registry-wide
+            # reset/snapshot still cover every domain.
+            self.registry.adopt(controller.stats.metrics())
+            self.registry.adopt(controller.metadata_cache.stats.metrics())
+            self.registry.adopt(controller.nvm.metrics())
         self.controller = controller
+        self.tracer = controller.tracer
+        self._read_latency = self.registry.histogram(
+            "latency.read",
+            LATENCY_BUCKETS_NS,
+            help="per-request read latency (ns, CPU path incl. read stalls)",
+        )
+        self._write_latency = self.registry.histogram(
+            "latency.write",
+            LATENCY_BUCKETS_NS,
+            help="per-request write latency (ns, CPU path incl. read stalls)",
+        )
 
     def reset_measurement_stats(self) -> None:
         """Zero *every* statistic domain at the warmup checkpoint.
 
-        Measured metrics span four stat owners — the controller, the
-        NVM device counters, the metadata cache, and the CPU cache
-        levels.  All four must reset together, or warmup accesses leak
-        into measured rates (a warm metadata cache would report the
-        warmup's compulsory misses in ``metadata_miss_rate``).
+        One registry-wide reset: every instrument — controller traffic,
+        NVM device counts, metadata-cache and CPU-cache counters,
+        latency histograms — is registered into ``self.registry`` at
+        construction, so a new stat domain cannot silently leak warmup
+        traffic into measured rates (the historical multi-owner bug).
         """
-        controller = self.controller
-        controller.stats = ControllerStats()
-        controller.nvm.reset_counters()
-        controller.metadata_cache.stats = MetadataCacheStats()
-        for cache in self.hierarchy.caches:
-            cache.stats = CacheStats()
+        self.registry.reset()
 
     def run(self, workload, warmup_refs: int = 0, op_hook=None) -> SimResult:
         """Run one workload's reference stream to completion.
@@ -89,11 +114,13 @@ class SecureSystem:
         afterwards"): the first N references warm the caches and
         metadata state, then every statistic resets before measurement.
 
-        ``op_hook(op_index)``, when given, is called before each
-        post-warmup reference — the attachment point for online fault
-        injection (:class:`~repro.faults.FaultInjector.poll`) and
-        background scrubbing
-        (:class:`~repro.controller.MetadataScrubber.tick`).
+        ``op_hook(op_index)``, when given, is subscribed to the
+        tracer's ``"op"`` event for the duration of the run and called
+        before each post-warmup reference — the attachment point for
+        online fault injection (:class:`~repro.faults.FaultInjector.poll`)
+        and background scrubbing
+        (:class:`~repro.controller.MetadataScrubber.tick`).  New code
+        can subscribe to ``system.tracer`` directly instead.
         """
         config = self.config
         controller = self.controller
@@ -106,57 +133,81 @@ class SecureSystem:
         read_latency_cycles = config.ns_to_cycles(config.pcm_read_ns)
         pcm_read_ns = config.pcm_read_ns
         pcm_write_ns = config.pcm_write_ns
+        cycle_ns = config.cycle_ns
+        observe_read_ns = self._read_latency.observe
+        observe_write_ns = self._write_latency.observe
         zero = bytes(64)
 
+        tracer = self.tracer
+        hook = None
+        if op_hook is not None:
+            def hook(event):
+                op_hook(event.index)
+            tracer.subscribe("op", hook)
+        tracer_emit = tracer.emit
+        emit_op = tracer.wants("op")
+
         refs = workload.references()
-        if warmup_refs > 0:
-            for address, is_write, _gap in islice(refs, warmup_refs):
-                address %= data_bytes
-                result = hierarchy_access(address, is_write)
-                if result.memory_read:
-                    controller_read(address // 64)
-                for victim in result.writebacks:
-                    controller_write(victim // 64, zero)
-            # Checkpoint: measurement starts from warmed state.
-            self.reset_measurement_stats()
+        try:
+            if warmup_refs > 0:
+                for address, is_write, _gap in islice(refs, warmup_refs):
+                    address %= data_bytes
+                    result = hierarchy_access(address, is_write)
+                    if result.memory_read:
+                        controller_read(address // 64)
+                    for victim in result.writebacks:
+                        controller_write(victim // 64, zero)
+                # Checkpoint: measurement starts from warmed state.
+                self.reset_measurement_stats()
 
-        instructions = 0
-        memory_requests = 0
-        cpu_cycles = 0.0
-        channel_ns = 0.0
+            instructions = 0
+            memory_requests = 0
+            cpu_cycles = 0.0
+            channel_ns = 0.0
 
-        while True:
-            # Batched draining keeps the inner loop on a plain list.
-            batch = list(islice(refs, REFERENCE_BATCH))
-            if not batch:
-                break
-            for address, is_write, gap in batch:
-                if op_hook is not None:
-                    op_hook(memory_requests)
-                address %= data_bytes
-                instructions += gap + 1
-                cpu_cycles += gap  # 1 cycle per non-memory instruction
-                memory_requests += 1
+            while True:
+                # Batched draining keeps the inner loop on a plain list.
+                batch = list(islice(refs, REFERENCE_BATCH))
+                if not batch:
+                    break
+                for address, is_write, gap in batch:
+                    if emit_op:
+                        tracer_emit("op", index=memory_requests)
+                    address %= data_bytes
+                    instructions += gap + 1
+                    cpu_cycles += gap  # 1 cycle per non-memory instruction
+                    memory_requests += 1
 
-                result = hierarchy_access(address, is_write)
-                cpu_cycles += result.latency_cycles
+                    result = hierarchy_access(address, is_write)
+                    cpu_cycles += result.latency_cycles
 
-                blocking_reads = 0
-                posted_writes = 0
-                if result.memory_read:
-                    read = controller_read(address // 64)
-                    blocking_reads += read.cost.blocking_reads
-                    posted_writes += read.cost.posted_writes
-                for victim in result.writebacks:
-                    cost = controller_write(victim // 64, zero)
-                    blocking_reads += cost.blocking_reads
-                    posted_writes += cost.posted_writes
+                    blocking_reads = 0
+                    posted_writes = 0
+                    if result.memory_read:
+                        read = controller_read(address // 64)
+                        blocking_reads += read.cost.blocking_reads
+                        posted_writes += read.cost.posted_writes
+                    for victim in result.writebacks:
+                        cost = controller_write(victim // 64, zero)
+                        blocking_reads += cost.blocking_reads
+                        posted_writes += cost.posted_writes
 
-                cpu_cycles += blocking_reads * read_latency_cycles
-                channel_ns += (
-                    blocking_reads * pcm_read_ns
-                    + posted_writes * pcm_write_ns
-                )
+                    cpu_cycles += blocking_reads * read_latency_cycles
+                    channel_ns += (
+                        blocking_reads * pcm_read_ns
+                        + posted_writes * pcm_write_ns
+                    )
+                    request_ns = (
+                        result.latency_cycles
+                        + blocking_reads * read_latency_cycles
+                    ) * cycle_ns
+                    if is_write:
+                        observe_write_ns(request_ns)
+                    else:
+                        observe_read_ns(request_ns)
+        finally:
+            if hook is not None:
+                tracer.unsubscribe("op", hook)
 
         stats = controller.stats
         cpu_ns = cpu_cycles * config.cycle_ns
@@ -170,10 +221,14 @@ class SecureSystem:
             exec_time_ns=max(cpu_ns, channel_ns),
             nvm_reads=stats.total_nvm_reads,
             nvm_writes=stats.total_nvm_writes,
-            writes_by_kind=dict(stats.nvm_writes_by_kind),
-            reads_by_kind=dict(stats.nvm_reads_by_kind),
-            evictions_by_level=dict(stats.evictions_by_level),
+            writes_by_kind=dict(sorted(stats.nvm_writes_by_kind.items())),
+            reads_by_kind=dict(sorted(stats.nvm_reads_by_kind.items())),
+            evictions_by_level=dict(sorted(stats.evictions_by_level.items())),
             metadata_miss_rate=controller.metadata_cache.stats.miss_rate,
+            latency_ns={
+                "read": self._read_latency.summary(),
+                "write": self._write_latency.summary(),
+            },
         )
 
 

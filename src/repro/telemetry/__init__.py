@@ -1,0 +1,25 @@
+"""Unified telemetry: metric registry, instruments, tracing, manifest."""
+
+from repro.telemetry.manifest import default_manifest, manifest_json
+from repro.telemetry.registry import (
+    SCHEMA_VERSION,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    LabeledCounterMetric,
+    MetricRegistry,
+)
+from repro.telemetry.trace import TraceEvent, Tracer
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "LabeledCounterMetric",
+    "MetricRegistry",
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "Tracer",
+    "default_manifest",
+    "manifest_json",
+]

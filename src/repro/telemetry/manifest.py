@@ -1,0 +1,34 @@
+"""The canonical metric manifest.
+
+``default_manifest()`` constructs one small-but-complete secure system
+(all five stat domains: CPU caches, metadata cache, controller, NVM,
+trace characterization) and returns its registry manifest.  The result
+is a pure function of the codebase — metric names never depend on
+memory size or scheme — so it can be committed as a golden file
+(``telemetry_manifest.json``) and diffed in CI: renaming or removing a
+metric becomes an explicit reviewed change instead of silent report
+drift in downstream dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def default_manifest() -> dict:
+    """Manifest covering every metric a standard simulation registers."""
+    # Imported lazily: repro.sim imports repro.telemetry at module load.
+    from repro.sim import SecureSystem, SystemConfig
+    from repro.workloads.trace import Trace
+
+    system = SecureSystem("sac", config=SystemConfig.scaled(memory_mb=1))
+    # The trace-characterization domain registers its instruments when a
+    # Trace is characterized against a registry.
+    Trace("manifest", []).stats(registry=system.registry)
+    return system.registry.manifest()
+
+
+def manifest_json(indent: int = 2) -> str:
+    """Sorted-key JSON text of :func:`default_manifest` (golden-file
+    and CLI format — byte-stable across runs)."""
+    return json.dumps(default_manifest(), indent=indent, sort_keys=True) + "\n"

@@ -14,22 +14,115 @@ with ``#`` comments, so traces diff cleanly and can be hand-edited.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
 
+from repro.telemetry import CounterMetric, GaugeMetric
 from repro.workloads.base import Workload
 
 
-@dataclass
 class TraceStats:
-    """Characterization of one reference stream."""
+    """Characterization of one reference stream.
 
-    references: int
-    writes: int
-    unique_blocks: int
-    footprint_bytes: int
-    mean_gap: float
-    top_block_share: float        # fraction of refs to the hottest block
-    sequential_fraction: float    # refs whose block follows the previous
+    Backed by telemetry instruments (``trace.*``): integer tallies are
+    counters, derived ratios are gauges.  The historical dataclass
+    field names stay available as read/write properties.
+    """
+
+    COUNTER_FIELDS = ("references", "writes", "unique_blocks", "footprint_bytes")
+    GAUGE_FIELDS = ("mean_gap", "top_block_share", "sequential_fraction")
+
+    _HELP = {
+        "references": "memory references in the stream",
+        "writes": "write references in the stream",
+        "unique_blocks": "distinct 64B blocks touched",
+        "footprint_bytes": "bytes spanned by the touched blocks",
+        "mean_gap": "mean inter-reference gap (cycles)",
+        "top_block_share": "fraction of refs to the hottest block",
+        "sequential_fraction": "refs whose block follows the previous",
+    }
+
+    def __init__(
+        self,
+        references: int = 0,
+        writes: int = 0,
+        unique_blocks: int = 0,
+        footprint_bytes: int = 0,
+        mean_gap: float = 0.0,
+        top_block_share: float = 0.0,
+        sequential_fraction: float = 0.0,
+        registry=None,
+        prefix: str = "trace",
+    ):
+        metrics = []
+        for name in self.COUNTER_FIELDS:
+            metric = CounterMetric(f"{prefix}.{name}", help=self._HELP[name])
+            setattr(self, f"_{name}", metric)
+            metrics.append(metric)
+        for name in self.GAUGE_FIELDS:
+            metric = GaugeMetric(f"{prefix}.{name}", help=self._HELP[name])
+            setattr(self, f"_{name}", metric)
+            metrics.append(metric)
+        self._metrics = tuple(metrics)
+        if registry is not None:
+            for metric in metrics:
+                registry.register(metric)
+        self._references.n = references
+        self._writes.n = writes
+        self._unique_blocks.n = unique_blocks
+        self._footprint_bytes.n = footprint_bytes
+        self._mean_gap.v = mean_gap
+        self._top_block_share.v = top_block_share
+        self._sequential_fraction.v = sequential_fraction
+
+    def _make_counter_field(attr):  # noqa: N805 - property factory
+        def fget(self):
+            return getattr(self, attr).n
+
+        def fset(self, value):
+            getattr(self, attr).n = value
+
+        return property(fget, fset)
+
+    def _make_gauge_field(attr):  # noqa: N805 - property factory
+        def fget(self):
+            return getattr(self, attr).v
+
+        def fset(self, value):
+            getattr(self, attr).v = value
+
+        return property(fget, fset)
+
+    references = _make_counter_field("_references")
+    writes = _make_counter_field("_writes")
+    unique_blocks = _make_counter_field("_unique_blocks")
+    footprint_bytes = _make_counter_field("_footprint_bytes")
+    mean_gap = _make_gauge_field("_mean_gap")
+    top_block_share = _make_gauge_field("_top_block_share")
+    sequential_fraction = _make_gauge_field("_sequential_fraction")
+
+    del _make_counter_field, _make_gauge_field
+
+    def metrics(self) -> tuple:
+        return self._metrics
+
+    def _values(self) -> tuple:
+        return tuple(
+            getattr(self, name)
+            for name in self.COUNTER_FIELDS + self.GAUGE_FIELDS
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceStats):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value}"
+            for name, value in zip(
+                self.COUNTER_FIELDS + self.GAUGE_FIELDS, self._values()
+            )
+        )
+        return f"TraceStats({inner})"
 
     @property
     def write_fraction(self) -> float:
@@ -106,9 +199,9 @@ class Trace:
 
     # ---- characterization ----
 
-    def stats(self) -> TraceStats:
+    def stats(self, registry=None) -> TraceStats:
         if not self.references:
-            return TraceStats(0, 0, 0, 0, 0.0, 0.0, 0.0)
+            return TraceStats(0, 0, 0, 0, 0.0, 0.0, 0.0, registry=registry)
         blocks = Counter()
         writes = 0
         gap_total = 0
@@ -133,6 +226,7 @@ class Trace:
             mean_gap=gap_total / len(self.references),
             top_block_share=hottest / len(self.references),
             sequential_fraction=sequential / len(self.references),
+            registry=registry,
         )
 
 

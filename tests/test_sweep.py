@@ -136,11 +136,21 @@ class TestBench:
         return run_bench(refs=500, jobs=2, seed=2021)
 
     def test_grid_is_pinned(self, payload):
-        assert payload["schema"] == "bench_perf/v1"
+        assert payload["schema"] == "bench_perf/v2"
+        assert payload["telemetry_schema"] == "telemetry/v1"
         assert len(payload["cells"]) == 12  # 4 workloads x 3 schemes
         workloads = {c["workload"] for c in payload["cells"]}
         assert workloads == {"ctree", "hashmap", "ubench", "mcf"}
         assert all(c["ok"] for c in payload["cells"])
+
+    def test_cells_report_latency_percentiles(self, payload):
+        for cell in payload["cells"]:
+            assert cell["read_p95_ns"] >= 0
+            assert cell["write_p95_ns"] >= 0
+        for result in payload["results"].values():
+            summary = result["latency_ns"]["read"]
+            assert summary["count"] > 0
+            assert summary["p50"] <= summary["p95"] <= summary["p99"]
 
     def test_parallel_leg_identical(self, payload):
         assert payload["identical_outputs"] is True
