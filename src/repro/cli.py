@@ -197,6 +197,7 @@ def cmd_chaos(args) -> int:
         scrub_intervals=tuple(args.scrub_intervals),
         mode=args.mode,
         enforce_invariant=not args.no_enforce,
+        oracle=args.oracle,
     )
     try:
         report = run_campaign(config, jobs=args.jobs)
@@ -222,6 +223,103 @@ def cmd_chaos(args) -> int:
             fh.write(report.to_json())
         print(f"wrote {args.out}")
     return 0 if report.invariant_ok else 1
+
+
+def cmd_verify(args) -> int:
+    """Differential verification: oracle-checked workloads + crash points."""
+    import json
+
+    from repro.verify import CrashPointConfig, run_crash_points
+
+    if args.replay:
+        from repro.verify.replay import load_case, run_ops
+
+        config, ops, note = load_case(args.replay)
+        if note:
+            print(f"replaying {args.replay}: {note}")
+        report = run_ops(config, ops, raise_on_failure=False)
+        print(f"replay {'PASSED' if report['ok'] else 'FAILED'}: "
+              f"{report['ops_applied']} ops, "
+              f"{report['typed_errors']} typed errors")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.out}")
+        return 0 if report["ok"] else 1
+
+    refs = 5_000 if args.quick else 20_000
+    footprint_mb = 4 if args.quick else 8
+    memory_mb = 8 if args.quick else 32
+    ops = 160 if args.quick else 400
+    config = SystemConfig.scaled(memory_mb=memory_mb)
+    specs = standard_suite_specs(
+        footprint_bytes=footprint_mb * MB, num_refs=refs
+    )
+    cells = [
+        SimCell(workload=spec, scheme=scheme, config=config,
+                seed=args.seed, verify=True)
+        for spec in specs
+        for scheme in args.schemes
+    ]
+    print(f"oracle-verified workload sweep: {len(cells)} cells "
+          f"({refs} refs each)")
+    outcomes = SweepEngine(cells, jobs=args.jobs).run()
+    workload_rows = []
+    sweep_ok = True
+    for cell, outcome in zip(cells, outcomes):
+        verify = outcome.result.verify if outcome.ok else None
+        row_ok = bool(outcome.ok and verify and verify["ok"])
+        sweep_ok &= row_ok
+        workload_rows.append({
+            "label": outcome.label,
+            "ok": row_ok,
+            "error": outcome.error,
+            "verify": verify,
+        })
+        status = "ok" if row_ok else "FAIL"
+        checked = verify["oracle"]["writes"] + verify["oracle"]["reads"] \
+            if verify else 0
+        print(f"  {outcome.label:<16} {status}  ({checked} ops checked)")
+
+    crash_reports = {}
+    crash_ok = True
+    for scheme in args.schemes:
+        for mode in ("toc", "bmt"):
+            campaign = CrashPointConfig(
+                scheme=scheme,
+                integrity_mode=mode,
+                ops=ops,
+                num_points=args.points,
+                seed=args.seed,
+                fault_every=args.fault_every,
+            )
+            report = run_crash_points(campaign, raise_on_failure=False)
+            crash_reports[f"{scheme}/{mode}"] = report
+            crash_ok &= report["ok"]
+            outcomes_row = report["outcomes"]
+            print(f"  crash {scheme}/{mode}: {args.points} points "
+                  f"{'ok' if report['ok'] else 'FAIL'} "
+                  f"(recovered {outcomes_row['recovered']}, "
+                  f"lost {outcomes_row['reported_lost']}, "
+                  f"quarantined {outcomes_row['quarantined']}, "
+                  f"silent {report['silent_corruption']})")
+
+    ok = sweep_ok and crash_ok
+    payload = {
+        "schema": "verify/v1",
+        "kind": "verify",
+        "seed": args.seed,
+        "quick": args.quick,
+        "workloads": workload_rows,
+        "crash_points": crash_reports,
+        "ok": ok,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    print(f"verification {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 def cmd_figures(args) -> int:
@@ -379,9 +477,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON resilience report here")
     p.add_argument("--no-enforce", action="store_true",
                    help="report violations instead of raising")
+    p.add_argument("--oracle", action="store_true",
+                   help="attach the differential oracle to every run")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one campaign run per cell")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential oracle sweep + crash-point recovery harness",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized run (fewer refs/ops; same coverage)")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--points", type=int, default=200,
+                   help="sampled power-cut points per scheme/mode")
+    p.add_argument("--fault-every", type=int, default=4,
+                   help="inject faults at every k-th crash point "
+                        "(0 = clean cuts only)")
+    p.add_argument("--schemes", nargs="+", default=["src", "sac"],
+                   choices=list(SCHEMES))
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the workload sweep")
+    p.add_argument("--replay", default=None, metavar="CASE.json",
+                   help="re-run one serialized replay case instead")
+    p.add_argument("--out", default=None,
+                   help="write the JSON verify/v1 report here")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
         "metrics",

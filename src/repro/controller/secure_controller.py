@@ -237,10 +237,15 @@ class SecureMemoryController:
         # A pending WPQ store is inside the ADR persistence domain and
         # supersedes dead media cells (the drain rewrites the row and
         # clears the poison), so only unforwarded reads see the DUE.
-        if self.nvm.is_poisoned(address) and self._wpq.lookup(address) is None:
+        if self._effectively_poisoned(address):
             raise DataPoisonedError(address)
         ciphertext, touched = self._nvm_read(address, cost, "data")
         if not touched:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "data_read", block=block_index, address=address,
+                    data=bytes(64), counter=counter,
+                )
             return ReadResult(data=bytes(64), cost=cost)
 
         mac_block = self._get_mac_block(block_index, cost)
@@ -254,6 +259,11 @@ class SecureMemoryController:
             plaintext = self._cipher.decrypt(ciphertext, address, counter)
         else:
             plaintext = ciphertext
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "data_read", block=block_index, address=address,
+                data=plaintext, counter=counter,
+            )
         return ReadResult(data=plaintext, cost=cost)
 
     def write(self, block_index: int, data: bytes) -> OpCost:
@@ -270,34 +280,50 @@ class SecureMemoryController:
         entry = self._get_counter(counter_index, cost)
         overflow = entry.block.increment(slot)
         self._mcache.mark_dirty(self.amap.node_addr(1, counter_index))
-        if overflow is not None:
-            self._reencrypt_page(counter_index, entry, overflow, cost)
-        updates = entry.bump_slot(slot)
-        if self.integrity_mode == "bmt":
-            self._propagate_bmt(counter_index, entry, cost)
-        else:
-            self._shadow_note_counter(counter_index, entry, cost)
+        try:
+            if overflow is not None:
+                self._reencrypt_page(counter_index, entry, overflow, cost)
+            updates = entry.bump_slot(slot)
+            if self.integrity_mode == "bmt":
+                self._propagate_bmt(counter_index, entry, cost)
+            else:
+                self._shadow_note_counter(counter_index, entry, cost)
 
-        counter = entry.block.effective_counter(slot)
-        if self.functional_crypto:
-            ciphertext = self._cipher.encrypt(data, address, counter)
-            data_mac = self._mac.data_mac(ciphertext, address, counter)
-        else:
-            ciphertext = data
-            data_mac = ZERO_MAC
-        self._enqueue_write(address, ciphertext, cost, "data")
+            counter = entry.block.effective_counter(slot)
+            if self.functional_crypto:
+                ciphertext = self._cipher.encrypt(data, address, counter)
+                data_mac = self._mac.data_mac(ciphertext, address, counter)
+            else:
+                ciphertext = data
+                data_mac = ZERO_MAC
+            self._enqueue_write(address, ciphertext, cost, "data")
 
-        mac_block = self._get_mac_block(block_index, cost)
-        mac_block.macs[self.amap.mac_slot(block_index)] = data_mac
-        self._enqueue_write(
-            self.amap.mac_addr(block_index), mac_block.to_bytes(), cost, "mac"
-        )
+            mac_block = self._get_mac_block(block_index, cost)
+            mac_block.macs[self.amap.mac_slot(block_index)] = data_mac
+            self._enqueue_write(
+                self.amap.mac_addr(block_index), mac_block.to_bytes(), cost, "mac"
+            )
 
-        if self.update_policy == "eager":
-            self._persist_branch(counter_index, entry, cost)
-        elif updates >= self.osiris_limit:
-            self.stats.osiris_persists += 1
-            self._persist_counter_entry(counter_index, entry, cost)
+            if self.update_policy == "eager":
+                self._persist_branch(counter_index, entry, cost)
+            elif updates >= self.osiris_limit:
+                self.stats.osiris_persists += 1
+                self._persist_counter_entry(counter_index, entry, cost)
+        except SecureMemoryError:
+            # The cached counter already took its increment; a lockstep
+            # oracle must mirror that even though the write itself died.
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "data_write_failed", block=block_index,
+                    counter_index=counter_index, slot=slot,
+                )
+            raise
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "data_write", block=block_index, address=address,
+                counter_index=counter_index, slot=slot,
+                counter=counter, data=data,
+            )
         return cost
 
     def _persist_branch(self, counter_index: int, entry: CounterEntry, cost: OpCost) -> None:
@@ -404,6 +430,11 @@ class SecureMemoryController:
         if self.quarantine is not None:
             self.quarantine.clear()
             self.stats.quarantined_bytes = 0
+        if self.tracer.enabled:
+            # Lockstep observers reset their counter mirrors here; the
+            # rewrite loop below replays every surviving block through
+            # the normal write path (and its data_write events).
+            self.tracer.emit("rekey", kept=sorted(plaintexts))
 
         for block_index, data in sorted(plaintexts.items()):
             cost.add(self.write(block_index, data))
@@ -509,6 +540,19 @@ class SecureMemoryController:
     # NVM traffic primitives
     # ------------------------------------------------------------------
 
+    def _effectively_poisoned(self, address: int) -> bool:
+        """True when a DUE on ``address`` can actually reach a reader.
+
+        A pending WPQ store is inside the ADR persistence domain and
+        supersedes the dead media cells: ``_nvm_read`` forwards the
+        pending bytes, and the eventual drain rewrites the row and
+        clears the poison.  Treating such an address as poisoned is
+        wrong twice over — the forwarded bytes are good, and a repair
+        kicked off for them double-counts in clone_repair telemetry
+        (once now, once when the scrubber sees the still-set flag).
+        """
+        return self.nvm.is_poisoned(address) and self._wpq.lookup(address) is None
+
     def _nvm_read(self, address: int, cost: OpCost, kind: str):
         """Read one block: WPQ forwarding first, then the device.
 
@@ -588,7 +632,7 @@ class SecureMemoryController:
             return self._reclaim_victim(eviction, cost).node
         expected = self._parent_digest_of(level, index, cost)
         raw, touched = self._nvm_read(address, cost, "tree")
-        poisoned = self.nvm.is_poisoned(address)
+        poisoned = self._effectively_poisoned(address)
         if not touched and not poisoned and (
             not self.functional_crypto or expected == ZERO_DIGEST
         ):
@@ -612,7 +656,7 @@ class SecureMemoryController:
         for copy in range(1, depth):
             address = self.amap.clone_addr(level, index, copy)
             raw, touched = self._nvm_read(address, cost, "clone")
-            if self.nvm.is_poisoned(address) or not touched:
+            if self._effectively_poisoned(address) or not touched:
                 continue
             if self.functional_crypto and not self._bmt_auth.verify_block(
                 level, index, raw, expected
@@ -660,7 +704,7 @@ class SecureMemoryController:
             return self._reclaim_victim(eviction, cost)
         expected = self._parent_digest_of(1, index, cost)
         raw, touched = self._nvm_read(address, cost, "counter")
-        poisoned = self.nvm.is_poisoned(address)
+        poisoned = self._effectively_poisoned(address)
         if not touched and not poisoned and (
             not self.functional_crypto or expected == ZERO_DIGEST
         ):
@@ -685,7 +729,7 @@ class SecureMemoryController:
         for copy in range(1, depth):
             address = self.amap.clone_addr(1, index, copy)
             raw, touched = self._nvm_read(address, cost, "clone")
-            if self.nvm.is_poisoned(address) or not touched:
+            if self._effectively_poisoned(address) or not touched:
                 continue
             if self.functional_crypto and not self._bmt_auth.verify_block(
                 1, index, raw, expected
@@ -746,7 +790,7 @@ class SecureMemoryController:
         return node
 
     def _node_ok(self, level, index, node, parent_counter, address) -> bool:
-        if self.nvm.is_poisoned(address):
+        if self._effectively_poisoned(address):
             return False
         if not self.functional_crypto:
             return True
@@ -762,7 +806,7 @@ class SecureMemoryController:
         for copy in range(1, depth):
             address = self.amap.clone_addr(level, index, copy)
             raw, touched = self._nvm_read(address, cost, "clone")
-            if self.nvm.is_poisoned(address):
+            if self._effectively_poisoned(address):
                 continue
             candidate = TocNode() if not touched else TocNode.from_bytes(raw)
             if self.functional_crypto and not self._auth.verify_node(
@@ -790,7 +834,7 @@ class SecureMemoryController:
         for copy in range(1, self.amap.counter_mac_depth):
             address = self.amap.counter_mac_clone_addr(sidecar_index, copy)
             raw, _ = self._nvm_read(address, cost, "clone")
-            if self.nvm.is_poisoned(address):
+            if self._effectively_poisoned(address):
                 continue
             mac = raw[slot * MAC_BYTES:(slot + 1) * MAC_BYTES]
             if mac != stored_mac:
@@ -804,7 +848,7 @@ class SecureMemoryController:
                 address = self.amap.clone_addr(1, index, copy)
                 kind = "clone"
             raw, touched = self._nvm_read(address, cost, kind)
-            if self.nvm.is_poisoned(address):
+            if self._effectively_poisoned(address):
                 continue
             candidate = (
                 SplitCounterBlock()
@@ -853,7 +897,7 @@ class SecureMemoryController:
         raw, touched = self._nvm_read(address, cost, "counter")
         sidecar_address = self.amap.counter_mac_addr(index)
         sidecar, _ = self._nvm_read(sidecar_address, cost, "counter_mac")
-        if self.nvm.is_poisoned(sidecar_address):
+        if self._effectively_poisoned(sidecar_address):
             sidecar = self._recover_sidecar(index, cost)
             if sidecar is None:
                 self._sidecar_dead(index)
@@ -863,7 +907,7 @@ class SecureMemoryController:
             entry = CounterEntry(SplitCounterBlock(), mac=stored_mac)
         else:
             block = SplitCounterBlock.from_bytes(raw)
-            ok = not self.nvm.is_poisoned(address) and (
+            ok = not self._effectively_poisoned(address) and (
                 not self.functional_crypto
                 or self._auth.verify_counter_block(
                     index, block, stored_mac, parent_counter
@@ -893,7 +937,7 @@ class SecureMemoryController:
         for copy in range(1, self.amap.counter_mac_depth):
             address = self.amap.counter_mac_clone_addr(sidecar_index, copy)
             raw, _ = self._nvm_read(address, cost, "clone")
-            if self.nvm.is_poisoned(address):
+            if self._effectively_poisoned(address):
                 continue
             self._purify_sidecar(sidecar_index, raw, cost)
             return raw
@@ -1144,10 +1188,23 @@ class SecureMemoryController:
             if self.functional_crypto:
                 old_counter = (overflow.old_major << 7) | overflow.old_minors[slot]
                 new_counter = entry.block.effective_counter(slot)
+                mac_block = self._get_mac_block(block_index, cost)
+                mac_slot = self.amap.mac_slot(block_index)
+                if self._effectively_poisoned(address) or (
+                    self._mac.data_mac(raw, address, old_counter)
+                    != mac_block.macs[mac_slot]
+                ):
+                    # The old ciphertext cannot be authenticated.
+                    # Re-encrypting it would mint a fresh MAC over
+                    # garbage and launder the corruption into "valid"
+                    # data; leave the block poisoned behind the major
+                    # bump so the next read fails loudly instead.
+                    self.stats.reencrypt_skipped_blocks += 1
+                    self.nvm.poison_block(address)
+                    continue
                 plaintext = self._cipher.decrypt(raw, address, old_counter)
                 ciphertext = self._cipher.encrypt(plaintext, address, new_counter)
-                mac_block = self._get_mac_block(block_index, cost)
-                mac_block.macs[self.amap.mac_slot(block_index)] = (
+                mac_block.macs[mac_slot] = (
                     self._mac.data_mac(ciphertext, address, new_counter)
                 )
                 touched_mac_blocks.add(block_index - (block_index % 8))
@@ -1229,7 +1286,7 @@ class SecureMemoryController:
         addresses = list(self.amap.all_copies(level, index))
         if level == 1 and self.integrity_mode == "toc":
             addresses += self.amap.counter_mac_copies(self._sidecar_index_of(index))
-        poisoned = [a for a in addresses if self.nvm.is_poisoned(a)]
+        poisoned = [a for a in addresses if self._effectively_poisoned(a)]
         if not poisoned:
             return "clean"
         address = self.amap.node_addr(level, index)
@@ -1269,7 +1326,7 @@ class SecureMemoryController:
     def scrub_sidecar(self, sidecar_index: int) -> str:
         """Probe/repair one sidecar MAC block and its copies."""
         copies = self.amap.counter_mac_copies(sidecar_index)
-        poisoned = [a for a in copies if self.nvm.is_poisoned(a)]
+        poisoned = [a for a in copies if self._effectively_poisoned(a)]
         if not poisoned:
             return "clean"
         if self.integrity_mode == "bmt" or not any(
@@ -1281,7 +1338,7 @@ class SecureMemoryController:
                 self.nvm.erase_block(a)
             return "repaired"
         cost = OpCost()
-        live = [a for a in copies if not self.nvm.is_poisoned(a)]
+        live = [a for a in copies if not self._effectively_poisoned(a)]
         if live:
             raw, _ = self._nvm_read(live[0], cost, "counter_mac")
             self._purify_sidecar(sidecar_index, raw, cost)
@@ -1338,6 +1395,11 @@ class SecureMemoryController:
     @property
     def wpq(self) -> WritePendingQueue:
         return self._wpq
+
+    @property
+    def victims(self) -> dict:
+        """The (transient) eviction victim queue, keyed by address."""
+        return self._victims
 
     @property
     def auth(self) -> TocAuthenticator:

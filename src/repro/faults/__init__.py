@@ -25,6 +25,7 @@ from repro.faults.injector import (
     INJECTION_TARGETS,
     FaultInjector,
     InjectionEvent,
+    region_addresses,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "SilentCorruptionError",
     "mtbf_hours",
     "make_ecc",
+    "region_addresses",
     "run_campaign",
     "run_single",
     "sample_fault",

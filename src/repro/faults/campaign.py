@@ -69,6 +69,10 @@ class CampaignConfig:
     mode: str = "direct"             # or "ecc" (see FaultInjector)
     metadata_cache_bytes: int = 4 * 1024
     enforce_invariant: bool = True
+    #: Attach the differential oracle (:class:`repro.verify.Oracle`) to
+    #: every run; oracle divergences are folded into ``violations`` and
+    #: fail the campaign like any silent corruption.
+    oracle: bool = False
 
     def __post_init__(self):
         if self.ops < 1:
@@ -107,6 +111,7 @@ class RunResult:
     quarantine: list = field(default_factory=list)
     recovery: str = ""               # shadow target: crash/recover outcome
     empirical_udr: float = 0.0
+    oracle: dict = None              # differential-oracle summary, if on
 
     @property
     def invariant_ok(self) -> bool:
@@ -174,6 +179,12 @@ def run_single(
     )
     num_blocks = ctrl.num_data_blocks
     block_size = ctrl.nvm.block_size
+
+    oracle = None
+    if config.oracle:
+        from repro.verify import Oracle
+
+        oracle = Oracle(ctrl).attach()
 
     # Prefill every block so all metadata regions carry real state, then
     # flush so the injector's touched-only candidates span the layout.
@@ -246,6 +257,10 @@ def run_single(
     if target == "shadow":
         # Shadow-table damage only matters across a power cycle: crash
         # and run Anubis recovery, then audit the recovered controller.
+        # The oracle detaches first — the audit below compares against
+        # the mirror itself, and crash() invalidates the old controller.
+        if oracle is not None:
+            oracle.detach()
         from repro.recovery import RecoveryManager
 
         image = ctrl.crash()
@@ -278,6 +293,19 @@ def run_single(
                     violations.append({"phase": "audit", "op": -1,
                                        "block": block})
 
+    oracle_summary = None
+    if oracle is not None:
+        if oracle.attached:
+            oracle.check_tree()
+            oracle.detach()
+        oracle_summary = oracle.summary()
+        if oracle.divergence_count:
+            violations.append({
+                "phase": "oracle", "op": -1,
+                "divergences": oracle.divergence_count,
+                "kinds": sorted({r["kind"] for r in oracle.records}),
+            })
+
     unverifiable_blocks = audit["quarantined"] + audit["unverifiable"]
     stats_src = ctrl.stats if ctrl is not None else None
     quarantine_entries = []
@@ -307,6 +335,7 @@ def run_single(
         empirical_udr=unverifiable_blocks * block_size / (
             len(mirror) * block_size
         ),
+        oracle=oracle_summary,
     )
 
 

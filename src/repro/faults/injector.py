@@ -41,6 +41,65 @@ INJECTION_TARGETS = (
     "data", "counter", "tree", "clone", "counter_mac", "shadow",
 )
 
+
+def region_addresses(controller, target: str, touched_only: bool = True) -> list:
+    """Block addresses of one layout region, in deterministic order.
+
+    With ``touched_only`` (the default) the list is restricted to
+    blocks carrying real state, falling back to the full region when
+    nothing is touched yet — poisoning a factory-fresh block is a no-op
+    for the controller.  Shared by the injector and by deterministic
+    replay harnesses that need to name a fault site by (region, rank).
+    """
+    if target not in INJECTION_TARGETS:
+        raise ValueError(
+            f"unknown injection target {target!r}; valid: {INJECTION_TARGETS}"
+        )
+    amap = controller.amap
+    addresses: list = []
+    if target == "data":
+        addresses = [
+            amap.data_addr(i) for i in range(amap.num_data_blocks)
+        ]
+    elif target == "counter":
+        addresses = [
+            amap.node_addr(1, i) for i in range(amap.level_sizes[0])
+        ]
+    elif target == "tree":
+        for level in range(2, amap.num_levels + 1):
+            addresses.extend(
+                amap.node_addr(level, i)
+                for i in range(amap.level_sizes[level - 1])
+            )
+    elif target == "clone":
+        for level in range(1, amap.num_levels + 1):
+            depth = amap.clone_depths.get(level, 1)
+            for copy in range(1, depth):
+                addresses.extend(
+                    amap.clone_addr(level, i, copy)
+                    for i in range(amap.level_sizes[level - 1])
+                )
+        for copy in range(1, amap.counter_mac_depth):
+            addresses.extend(
+                amap.counter_mac_clone_addr(i, copy)
+                for i in range(amap.num_counter_mac_blocks)
+            )
+    elif target == "counter_mac":
+        addresses = [
+            amap.counter_mac_offset + i * amap.block_size
+            for i in range(amap.num_counter_mac_blocks)
+        ]
+    elif target == "shadow":
+        addresses = [
+            amap.shadow_entry_addr(i) for i in range(amap.shadow_entries)
+        ]
+    if touched_only:
+        nvm = controller.nvm
+        touched = [a for a in addresses if nvm.is_touched(a)]
+        if touched:
+            return touched
+    return addresses
+
 #: Blocks garbled per event by Hopper class in direct mode, before the
 #: per-event cap.  Spatially-large classes hit more blocks; the exact
 #: scale is bounded by ``max_blocks_per_fault`` because a full row/bank
@@ -258,48 +317,20 @@ class FaultInjector:
         return picked
 
     def _candidates(self, target: str) -> list:
-        """Block addresses of one region, optionally touched-only."""
-        amap = self.controller.amap
-        addresses: list = []
-        if target == "data":
-            addresses = [
-                amap.data_addr(i) for i in range(amap.num_data_blocks)
-            ]
-        elif target == "counter":
-            addresses = [
-                amap.node_addr(1, i) for i in range(amap.level_sizes[0])
-            ]
-        elif target == "tree":
-            for level in range(2, amap.num_levels + 1):
-                addresses.extend(
-                    amap.node_addr(level, i)
-                    for i in range(amap.level_sizes[level - 1])
-                )
-        elif target == "clone":
-            for level in range(1, amap.num_levels + 1):
-                depth = amap.clone_depths.get(level, 1)
-                for copy in range(1, depth):
-                    addresses.extend(
-                        amap.clone_addr(level, i, copy)
-                        for i in range(amap.level_sizes[level - 1])
-                    )
-            for copy in range(1, amap.counter_mac_depth):
-                addresses.extend(
-                    amap.counter_mac_clone_addr(i, copy)
-                    for i in range(amap.num_counter_mac_blocks)
-                )
-        elif target == "counter_mac":
-            addresses = [
-                amap.counter_mac_offset + i * amap.block_size
-                for i in range(amap.num_counter_mac_blocks)
-            ]
-        elif target == "shadow":
-            addresses = [
-                amap.shadow_entry_addr(i) for i in range(amap.shadow_entries)
-            ]
+        """Block addresses of one region, optionally touched-only.
+
+        Addresses with a store pending in the WPQ are skipped when
+        possible: the queued store will rewrite the whole cell, so a
+        DUE there can never reach a reader (write forwarding supersedes
+        the media content) — poisoning it wastes the fault budget on a
+        guaranteed no-op.
+        """
+        addresses = region_addresses(
+            self.controller, target, self.touched_only
+        )
         if self.touched_only:
-            nvm = self.controller.nvm
-            touched = [a for a in addresses if nvm.is_touched(a)]
-            if touched:
-                return touched
+            wpq = self.controller.wpq
+            settled = [a for a in addresses if wpq.lookup(a) is None]
+            if settled:
+                return settled
         return addresses

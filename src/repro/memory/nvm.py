@@ -80,6 +80,17 @@ class NvmDevice:
         self._reads.n += 1
         return self._blocks.get(address, ZERO_BLOCK)
 
+    def peek_block(self, address: int):
+        """Observe a block without perturbing the device counters.
+
+        Verification observers (the lockstep oracle, invariant sweeps)
+        must not change ``nvm.reads`` — a checked run and an unchecked
+        run have to produce bit-identical telemetry.  Returns ``None``
+        for untouched (factory-fresh) blocks.
+        """
+        self._check_address(address)
+        return self._blocks.get(address)
+
     def write_block(self, address: int, data: bytes) -> None:
         """Persist one block.  Writing clears any poison at the address
         (a fresh write re-programs the cells)."""

@@ -86,6 +86,10 @@ class WritePendingQueue:
                 found = data
         return found
 
+    def pending_addresses(self):
+        """Distinct addresses with entries still queued (observer use)."""
+        return {address for address, _ in self._queue}
+
     def drain_one(self) -> bool:
         """Flush the oldest entry to NVM; returns False when empty."""
         if not self._queue:

@@ -26,6 +26,9 @@ class SimResult:
     #: "write"); each digest is a histogram summary with count, mean,
     #: p50, p95, p99 in nanoseconds.
     latency_ns: dict[str, dict] = field(default_factory=dict)
+    #: ``verify/v1`` report when the run was oracle-checked
+    #: (``SecureSystem.run(verify=...)``); None otherwise.
+    verify: dict = None
 
     @property
     def evictions_per_request(self) -> float:

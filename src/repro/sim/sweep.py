@@ -46,6 +46,11 @@ class SimCell:
     config: SystemConfig = None
     seed: int = 0
     warmup_refs: int = 0
+    #: Attach the differential oracle for the run (see
+    #: ``SecureSystem.run(verify=...)``).  Part of the cell description,
+    #: so verified sweeps keep the jobs=1 == jobs=N bit-equality
+    #: contract — including the embedded ``verify`` report.
+    verify: bool = False
 
     @property
     def label(self) -> str:
@@ -87,9 +92,11 @@ def run_sim_cell(cell: SimCell):
     system = SecureSystem(
         scheme=cell.scheme,
         config=cell.config,
+        functional_crypto=cell.verify,
         rng=np.random.default_rng(cell.seed),
     )
-    return system.run(workload, warmup_refs=cell.warmup_refs)
+    return system.run(workload, warmup_refs=cell.warmup_refs,
+                      verify=cell.verify)
 
 
 def _timed_call(runner, cell):

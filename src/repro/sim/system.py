@@ -105,7 +105,8 @@ class SecureSystem:
         """
         self.registry.reset()
 
-    def run(self, workload, warmup_refs: int = 0, op_hook=None) -> SimResult:
+    def run(self, workload, warmup_refs: int = 0, op_hook=None,
+            verify=False) -> SimResult:
         """Run one workload's reference stream to completion.
 
         ``warmup_refs`` replicates the paper's methodology ("we create
@@ -121,10 +122,26 @@ class SecureSystem:
         and background scrubbing
         (:class:`~repro.controller.MetadataScrubber.tick`).  New code
         can subscribe to ``system.tracer`` directly instead.
+
+        ``verify`` attaches a differential
+        :class:`~repro.verify.VerifySession` (golden oracle + invariant
+        checker) for the whole run — warmup included, since the oracle's
+        counter mirror must see every write — and raises
+        :class:`~repro.verify.VerificationError` if the simulator ever
+        diverges from the golden model.  Pass ``True`` for defaults or a
+        dict of ``VerifySession`` keyword options.  The report lands in
+        ``SimResult.verify``.
         """
         config = self.config
         controller = self.controller
         data_bytes = controller.num_data_blocks * 64
+
+        session = None
+        if verify:
+            from repro.verify import VerifySession
+
+            options = verify if isinstance(verify, dict) else {}
+            session = VerifySession(controller, **options).attach()
 
         # Hot-loop hoists: bound methods and per-reference constants.
         hierarchy_access = self.hierarchy.access
@@ -209,6 +226,10 @@ class SecureSystem:
             if hook is not None:
                 tracer.unsubscribe("op", hook)
 
+        verify_report = None
+        if session is not None:
+            verify_report = session.finish()
+
         stats = controller.stats
         cpu_ns = cpu_cycles * config.cycle_ns
         return SimResult(
@@ -229,6 +250,7 @@ class SecureSystem:
                 "read": self._read_latency.summary(),
                 "write": self._write_latency.summary(),
             },
+            verify=verify_report,
         )
 
 

@@ -1,0 +1,219 @@
+"""Always-on structural invariants, checked as tracer subscribers.
+
+Where the :class:`~repro.verify.oracle.Oracle` replays the system's
+*semantics* (what bytes must be where), the invariant checker watches
+for *structural* violations that would each individually break a
+security or recoverability argument from the paper:
+
+* **counter monotonicity** — the effective counter used for a data line
+  strictly increases across writes (a repeat would reuse a counter-mode
+  pad, the cardinal sin of counter-mode encryption);
+* **root consistency** — the on-chip ToC root counters never regress
+  (the root is the freshness anchor; a regression re-admits replayed
+  metadata);
+* **no silent quarantined reads** — a read of an address inside a
+  quarantined range must surface a typed error, never data;
+* **clone-region freshness** — at any op boundary every clone copy is
+  byte-identical to its primary (clone groups persist atomically
+  through the WPQ, so the eviction lag between primary and clone is
+  zero by construction; checked by :meth:`InvariantChecker.check_final`).
+
+The checker costs nothing when tracing is off: every emit site in the
+controller is gated on one ``tracer.enabled`` flag.
+"""
+
+from __future__ import annotations
+
+from repro.verify.oracle import (
+    _ZERO_BLOCK,
+    effectively_poisoned,
+    persisted_bytes,
+)
+
+MAX_RECORDS = 25
+
+
+class InvariantChecker:
+    """Tracer-subscribed invariant watchdog for one controller."""
+
+    def __init__(self, controller, *, max_records: int = MAX_RECORDS):
+        self.controller = controller
+        self.max_records = max_records
+        self.records: list = []
+        self.violation_count = 0
+        self.checked_ops = 0
+        #: (counter_index, slot) -> last effective counter observed
+        self._last_counters: dict = {}
+        self._root_snapshot = None
+        self._pending_quarantined = None
+        self._subs: list = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self) -> "InvariantChecker":
+        tracer = self.controller.tracer
+        self._subs = [
+            ("data_write", tracer.subscribe("data_write", self._on_data_write)),
+            ("data_read", tracer.subscribe("data_read", self._on_data_read)),
+            ("demand_read",
+             tracer.subscribe("demand_read", self._on_demand_read)),
+            ("op", tracer.subscribe("op", self._on_op)),
+            ("rekey", tracer.subscribe("rekey", self._on_rekey)),
+        ]
+        return self
+
+    def detach(self) -> None:
+        tracer = self.controller.tracer
+        for kind, fn in self._subs:
+            tracer.unsubscribe(kind, fn)
+        self._subs = []
+
+    def rebind(self, controller) -> None:
+        """Carry the checker over to a recovered controller.
+
+        Per-line counter floors are kept — counters must never regress
+        *across* a crash either, which is exactly what Osiris/Anubis
+        reconstruction promises.  The root snapshot is reset because the
+        recovered trusted state is a fresh object.
+        """
+        if self._subs:
+            self.detach()
+        self.controller = controller
+        self._root_snapshot = None
+        self._pending_quarantined = None
+        self.attach()
+
+    # -- event handlers -------------------------------------------------
+
+    def _record(self, kind: str, **fields) -> None:
+        self.violation_count += 1
+        if len(self.records) < self.max_records:
+            record = {"kind": kind}
+            record.update(fields)
+            self.records.append(record)
+
+    def _on_data_write(self, event) -> None:
+        self.checked_ops += 1
+        key = (event.counter_index, event.slot)
+        last = self._last_counters.get(key)
+        if last is not None and event.counter <= last:
+            self._record(
+                "counter_not_monotonic",
+                counter_index=event.counter_index,
+                slot=event.slot,
+                last=last,
+                now=event.counter,
+            )
+        self._last_counters[key] = event.counter
+        self._check_root()
+
+    def _on_data_read(self, event) -> None:
+        self.checked_ops += 1
+        if self._pending_quarantined == event.block:
+            self._record("quarantined_read_returned", block=event.block)
+        self._pending_quarantined = None
+
+    def _on_demand_read(self, event) -> None:
+        quarantine = self.controller.quarantine
+        self._pending_quarantined = (
+            event.block
+            if quarantine is not None
+            and quarantine.covering(event.block) is not None
+            else None
+        )
+
+    def _on_op(self, event) -> None:
+        self._check_root()
+
+    def _on_rekey(self, event) -> None:
+        # Fresh keys shred the estate: counters restart at zero and the
+        # root is rebuilt, both by design.
+        self._last_counters.clear()
+        self._root_snapshot = None
+
+    def _check_root(self) -> None:
+        if self.controller.integrity_mode != "toc":
+            return
+        current = list(self.controller.root.counters)
+        snapshot = self._root_snapshot
+        if snapshot is not None and any(
+            c < s for c, s in zip(current, snapshot)
+        ):
+            self._record(
+                "root_counter_regressed", before=snapshot, after=current
+            )
+        self._root_snapshot = current
+
+    # -- final sweep ----------------------------------------------------
+
+    def check_final(self) -> int:
+        """Clone-freshness sweep over the persisted metadata estate.
+
+        Every clone copy of every touched counter/tree/sidecar block
+        must be byte-identical to its primary (poison-exempt, since
+        injected damage is allowed to garble one copy — that is the
+        failure the clones exist to absorb).  Returns new violations.
+        """
+        before = self.violation_count
+        ctrl = self.controller
+        amap = ctrl.amap
+        seen_nodes, seen_sidecars = set(), set()
+        addresses = set(ctrl.nvm.touched_addresses())
+        addresses |= ctrl.wpq.pending_addresses()
+        for address in sorted(addresses):
+            region = amap.region_of(address)
+            if region[0] == "counter":
+                seen_nodes.add((1, region[1]))
+                seen_sidecars.add(
+                    (amap.counter_mac_addr(region[1]) - amap.counter_mac_offset)
+                    // amap.block_size
+                )
+            elif region[0] == "tree":
+                seen_nodes.add((region[1], region[2]))
+        for level, index in sorted(seen_nodes):
+            primary_addr = amap.node_addr(level, index)
+            if effectively_poisoned(ctrl, primary_addr):
+                continue
+            primary = persisted_bytes(ctrl, primary_addr)
+            if primary is None:
+                continue
+            for copy in range(1, amap.clone_depths.get(level, 1)):
+                clone_addr = amap.clone_addr(level, index, copy)
+                if effectively_poisoned(ctrl, clone_addr):
+                    continue
+                raw = persisted_bytes(ctrl, clone_addr)
+                if (raw or _ZERO_BLOCK) != primary:
+                    self._record(
+                        "stale_clone", level=level, index=index, copy=copy
+                    )
+        if ctrl.integrity_mode == "toc":
+            for sidecar_index in sorted(seen_sidecars):
+                copies = amap.counter_mac_copies(sidecar_index)
+                if effectively_poisoned(ctrl, copies[0]):
+                    continue
+                primary = persisted_bytes(ctrl, copies[0])
+                if primary is None:
+                    continue
+                for address in copies[1:]:
+                    if effectively_poisoned(ctrl, address):
+                        continue
+                    raw = persisted_bytes(ctrl, address)
+                    if (raw or _ZERO_BLOCK) != primary:
+                        self._record(
+                            "stale_sidecar_clone", sidecar=sidecar_index
+                        )
+        return self.violation_count - before
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def summary(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_ops": self.checked_ops,
+            "violations": self.violation_count,
+            "records": [dict(r) for r in self.records],
+        }

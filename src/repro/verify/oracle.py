@@ -1,0 +1,529 @@
+"""Golden functional model run in lockstep with the secure controller.
+
+The oracle is the "obviously correct" half of the differential pair: a
+slow, timing-free reference that derives what the encrypted-NVM state
+*must* look like from nothing but the logical write stream.  Split
+counters are a pure function of that stream — one increment per data
+write, regardless of caching, eviction order, WPQ drains, or repairs —
+so the oracle mirrors every :class:`SplitCounterBlock` itself and diffs
+the controller against the mirror after every operation:
+
+* the effective counter used for each write matches the mirror's;
+* the controller's own *merged* counter state (cache > victim queue >
+  WPQ > NVM) agrees with the value it claimed to use;
+* in functional-crypto mode, the ciphertext and data MAC that landed in
+  the persistence domain are exactly what counter-mode encryption of
+  the written plaintext demands;
+* every successful read returns the plaintext last written (the
+  no-silent-corruption oracle);
+* on demand (:meth:`Oracle.check_tree`), the persisted metadata estate
+  is audited: every persisted ToC node/counter verifies against the
+  merged parent counter, every BMT block hashes to its parent's
+  recorded digest, clone copies are byte-identical to their primary,
+  and no persisted counter trails its mirror by more than the Osiris
+  bound.
+
+Observation is strictly non-perturbing: the oracle peeks at cache, WPQ
+and NVM state without touching LRU order, hit/miss statistics, or
+device read counters, so a verified run and an unverified run produce
+bit-identical telemetry.
+"""
+
+from __future__ import annotations
+
+from repro.constants import MAC_BYTES, SPLIT_COUNTER_ARITY
+from repro.counters import SplitCounterBlock, TocNode
+from repro.tree import BmtAuthenticator, BmtNode
+
+_ZERO_BLOCK = bytes(64)
+
+#: Default cap on *stored* divergence records (all are still counted).
+MAX_RECORDS = 25
+
+
+# ----------------------------------------------------------------------
+# non-perturbing merged-state resolution
+# ----------------------------------------------------------------------
+
+def persisted_bytes(controller, address):
+    """Bytes of ``address`` inside the persistence domain (WPQ-forwarded
+    like a real read, else raw NVM), or ``None`` if factory-fresh."""
+    pending = controller.wpq.lookup(address)
+    if pending is not None:
+        return pending
+    return controller.nvm.peek_block(address)
+
+
+def effectively_poisoned(controller, address) -> bool:
+    """Mirror of the controller's WPQ-aware poison rule: a pending WPQ
+    store supersedes dead media cells, so the DUE never reaches a
+    reader."""
+    return (
+        controller.nvm.is_poisoned(address)
+        and controller.wpq.lookup(address) is None
+    )
+
+
+def cached_payload(controller, address):
+    """The volatile authoritative copy: resident cache line or queued
+    eviction victim.  Returns the payload object or ``None``."""
+    payload = controller.metadata_cache.peek(address)
+    if payload is not None:
+        return payload
+    eviction = controller.victims.get(address)
+    if eviction is not None:
+        return eviction.payload
+    return None
+
+
+def resolve_counter_block(controller, index) -> SplitCounterBlock:
+    """Authoritative current value of counter block ``index``."""
+    address = controller.amap.node_addr(1, index)
+    payload = cached_payload(controller, address)
+    if payload is not None:
+        return payload.block
+    raw = persisted_bytes(controller, address)
+    if raw is None:
+        return SplitCounterBlock()
+    return SplitCounterBlock.from_bytes(raw)
+
+
+def resolve_node(controller, level, index):
+    """Authoritative current value of a tree node (level >= 2)."""
+    address = controller.amap.node_addr(level, index)
+    payload = cached_payload(controller, address)
+    if payload is not None:
+        return payload.node
+    raw = persisted_bytes(controller, address)
+    cls = TocNode if controller.integrity_mode == "toc" else BmtNode
+    if raw is None:
+        return cls()
+    return cls.from_bytes(raw)
+
+
+def merged_parent_counter(controller, level, index) -> int:
+    """The freshest parent counter for ``(level, index)`` (ToC mode)."""
+    parent = controller.amap.parent_of(level, index)
+    slot = controller.amap.child_slot(level, index)
+    if parent is None:
+        return controller.root.counter(slot)
+    return resolve_node(controller, *parent).counter(slot)
+
+
+def merged_parent_digest(controller, level, index) -> bytes:
+    """The freshest parent digest for ``(level, index)`` (BMT mode)."""
+    parent = controller.amap.parent_of(level, index)
+    slot = controller.amap.child_slot(level, index)
+    if parent is None:
+        return controller.root.digest(slot)
+    return resolve_node(controller, *parent).digest(slot)
+
+
+# ----------------------------------------------------------------------
+
+
+class Oracle:
+    """Lockstep differential checker for one controller.
+
+    Subscribe with :meth:`attach`; every divergence is recorded (up to
+    ``max_records`` stored, all counted).  After a crash + recovery the
+    mirror state remains valid — recovery reconstructs exactly the
+    pre-crash counters — so :meth:`rebind` carries the oracle over to
+    the recovered controller.
+    """
+
+    def __init__(self, controller, *, max_records: int = MAX_RECORDS):
+        self.controller = controller
+        self.max_records = max_records
+        #: counter_index -> mirrored SplitCounterBlock
+        self.counters: dict = {}
+        #: data block index -> last successfully written plaintext
+        self.plaintexts: dict = {}
+        self.records: list = []
+        self.divergence_count = 0
+        self.writes = 0
+        self.reads = 0
+        self.tree_checks = 0
+        #: counter indices whose persist state is unsettled (a write
+        #: died mid-persist); exempt from the Osiris staleness audit.
+        self._unsettled: set = set()
+        self._subs: list = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self) -> "Oracle":
+        tracer = self.controller.tracer
+        self._subs = [
+            ("data_write", tracer.subscribe("data_write", self._on_data_write)),
+            ("data_write_failed",
+             tracer.subscribe("data_write_failed", self._on_data_write_failed)),
+            ("data_read", tracer.subscribe("data_read", self._on_data_read)),
+            ("rekey", tracer.subscribe("rekey", self._on_rekey)),
+        ]
+        return self
+
+    def detach(self) -> None:
+        tracer = self.controller.tracer
+        for kind, fn in self._subs:
+            tracer.unsubscribe(kind, fn)
+        self._subs = []
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._subs)
+
+    def rebind(self, controller) -> None:
+        """Move the oracle to a recovered controller (post-crash)."""
+        if self._subs:
+            self.detach()
+        self.controller = controller
+        self.attach()
+
+    # -- event handlers -------------------------------------------------
+
+    def _record(self, kind: str, **fields) -> None:
+        self.divergence_count += 1
+        if len(self.records) < self.max_records:
+            record = {"kind": kind, "op": self.writes + self.reads}
+            record.update(fields)
+            self.records.append(record)
+
+    def _mirror(self, counter_index: int) -> SplitCounterBlock:
+        mirror = self.counters.get(counter_index)
+        if mirror is None:
+            mirror = self.counters[counter_index] = SplitCounterBlock()
+        return mirror
+
+    def _on_data_write(self, event) -> None:
+        self.writes += 1
+        ctrl = self.controller
+        mirror = self._mirror(event.counter_index)
+        overflow = mirror.increment(event.slot)
+        expected = mirror.effective_counter(event.slot)
+        data = bytes(event.data)
+        self.plaintexts[event.block] = data
+        if event.counter != expected:
+            self._record(
+                "counter_divergence",
+                block=event.block,
+                counter_index=event.counter_index,
+                slot=event.slot,
+                expected=expected,
+                actual=event.counter,
+            )
+        state = resolve_counter_block(
+            ctrl, event.counter_index
+        ).effective_counter(event.slot)
+        if state != event.counter:
+            self._record(
+                "counter_state_divergence",
+                block=event.block,
+                counter_index=event.counter_index,
+                slot=event.slot,
+                claimed=event.counter,
+                resolved=state,
+            )
+        if ctrl.functional_crypto:
+            address = event.address
+            stored = persisted_bytes(ctrl, address)
+            expect_ct = ctrl.cipher.encrypt(data, address, event.counter)
+            if stored != expect_ct:
+                self._record("ciphertext_divergence", block=event.block)
+            expect_mac = ctrl.mac_engine.data_mac(
+                expect_ct, address, event.counter
+            )
+            stored_mac = self._stored_data_mac(event.block)
+            if stored_mac != expect_mac:
+                self._record(
+                    "mac_divergence",
+                    block=event.block,
+                    expected=expect_mac.hex(),
+                    stored=stored_mac.hex(),
+                )
+            if overflow is not None:
+                self._check_page_reencryption(event.counter_index, mirror)
+
+    def _on_data_write_failed(self, event) -> None:
+        # The cached counter took its increment before the op died, so
+        # the mirror must too (overflow semantics included).  The data
+        # block's content is now indeterminate — the new ciphertext may
+        # or may not have reached the WPQ before the failure — so its
+        # plaintext mirror is marked unknown (None) rather than guessed;
+        # reads of it are exempt until the next successful write.
+        self._mirror(event.counter_index).increment(event.slot)
+        self.plaintexts[event.block] = None
+        self._unsettled.add(event.counter_index)
+
+    def _on_data_read(self, event) -> None:
+        self.reads += 1
+        expected = self.plaintexts.get(event.block, _ZERO_BLOCK)
+        if expected is None:
+            return
+        if bytes(event.data) != expected:
+            self._record("silent_corruption", block=event.block)
+
+    def _on_rekey(self, event) -> None:
+        # Counters restart at zero under the new keys; the controller
+        # replays every surviving block through write(), whose events
+        # rebuild the mirrors.  Lost blocks were wiped — reads of them
+        # must return fresh zeros again.
+        self.counters.clear()
+        self._unsettled.clear()
+        kept = set(event.kept)
+        self.plaintexts = {
+            block: data
+            for block, data in self.plaintexts.items()
+            if block in kept
+        }
+
+    # -- write-time deep checks -----------------------------------------
+
+    def _stored_data_mac(self, block_index: int) -> bytes:
+        ctrl = self.controller
+        amap = ctrl.amap
+        address = amap.mac_addr(block_index)
+        payload = cached_payload(ctrl, address)
+        if payload is not None:
+            macs = payload.macs
+        else:
+            raw = persisted_bytes(ctrl, address) or _ZERO_BLOCK
+            macs = [
+                raw[i * MAC_BYTES:(i + 1) * MAC_BYTES] for i in range(8)
+            ]
+        return macs[amap.mac_slot(block_index)]
+
+    def _check_page_reencryption(self, counter_index: int, mirror) -> None:
+        """After a minor-counter overflow every surviving block of the
+        page must hold its old plaintext re-encrypted under the new
+        major; blocks the controller could not authenticate stay
+        poisoned (never laundered into fresh MACs)."""
+        ctrl = self.controller
+        for slot in range(SPLIT_COUNTER_ARITY):
+            block_index = counter_index * SPLIT_COUNTER_ARITY + slot
+            if block_index >= ctrl.num_data_blocks:
+                break
+            data = self.plaintexts.get(block_index)
+            if data is None:
+                continue
+            address = ctrl.amap.data_addr(block_index)
+            if effectively_poisoned(ctrl, address):
+                continue
+            stored = persisted_bytes(ctrl, address)
+            if stored is None:
+                continue
+            expect = ctrl.cipher.encrypt(
+                data, address, mirror.effective_counter(slot)
+            )
+            if stored != expect:
+                self._record(
+                    "reencrypt_divergence",
+                    counter_index=counter_index,
+                    block=block_index,
+                )
+
+    # -- whole-tree audit -----------------------------------------------
+
+    def check_tree(self) -> int:
+        """Audit the persisted metadata estate against the merged state.
+
+        Returns the number of new divergences found.  Safe to call at
+        any op boundary; nodes that carry injected poison (and have no
+        superseding WPQ entry) are exempt — their damage is required to
+        surface as typed errors on access, which the read/write-path
+        checks already enforce.
+        """
+        self.tree_checks += 1
+        before = self.divergence_count
+        if self.controller.integrity_mode == "toc":
+            self._check_tree_toc()
+        else:
+            self._check_tree_bmt()
+        return self.divergence_count - before
+
+    def _metadata_candidates(self):
+        """(counter indices, (level, index) nodes) with persisted state."""
+        ctrl = self.controller
+        amap = ctrl.amap
+        counters, nodes = set(), set()
+        addresses = set(ctrl.nvm.touched_addresses())
+        addresses |= ctrl.wpq.pending_addresses()
+        for address in addresses:
+            region = amap.region_of(address)
+            if region[0] == "counter":
+                counters.add(region[1])
+            elif region[0] == "tree":
+                nodes.add((region[1], region[2]))
+        return sorted(counters), sorted(nodes)
+
+    def _node_exempt(self, level: int, index: int, address: int) -> bool:
+        ctrl = self.controller
+        if effectively_poisoned(ctrl, address):
+            return True
+        quarantine = ctrl.quarantine
+        if quarantine is not None and quarantine.entries:
+            covered = ctrl.amap.data_blocks_covered(level, index)
+            for block in (covered.start, max(covered.stop - 1, covered.start)):
+                if quarantine.covering(block) is not None:
+                    return True
+        return False
+
+    def _check_clones(self, level: int, index: int, primary: bytes) -> None:
+        ctrl = self.controller
+        amap = ctrl.amap
+        depth = amap.clone_depths.get(level, 1)
+        for copy in range(1, depth):
+            address = amap.clone_addr(level, index, copy)
+            if effectively_poisoned(ctrl, address):
+                continue
+            raw = persisted_bytes(ctrl, address)
+            if (raw or _ZERO_BLOCK) != primary:
+                self._record(
+                    "clone_divergence", level=level, index=index, copy=copy
+                )
+
+    def _check_sidecar_copies(self, sidecar_index: int) -> None:
+        ctrl = self.controller
+        amap = ctrl.amap
+        copies = amap.counter_mac_copies(sidecar_index)
+        primary_addr = copies[0]
+        if effectively_poisoned(ctrl, primary_addr):
+            return
+        primary = persisted_bytes(ctrl, primary_addr)
+        if primary is None:
+            return
+        for address in copies[1:]:
+            if effectively_poisoned(ctrl, address):
+                continue
+            raw = persisted_bytes(ctrl, address)
+            if (raw or _ZERO_BLOCK) != primary:
+                self._record(
+                    "sidecar_clone_divergence", sidecar=sidecar_index
+                )
+
+    def _check_counter_staleness(self, index: int, block) -> None:
+        """No persisted counter slot may trail the logical write stream
+        by more than the Osiris bound (nor ever run ahead of it)."""
+        ctrl = self.controller
+        mirror = self.counters.get(index)
+        if mirror is None or index in self._unsettled:
+            return
+        for slot in range(SPLIT_COUNTER_ARITY):
+            delta = (
+                mirror.effective_counter(slot) - block.effective_counter(slot)
+            )
+            if not 0 <= delta <= ctrl.osiris_limit:
+                self._record(
+                    "osiris_bound_violation",
+                    counter_index=index,
+                    slot=slot,
+                    mirror=mirror.effective_counter(slot),
+                    persisted=block.effective_counter(slot),
+                    limit=ctrl.osiris_limit,
+                )
+                return
+
+    def _check_tree_toc(self) -> None:
+        ctrl = self.controller
+        amap = ctrl.amap
+        counters, nodes = self._metadata_candidates()
+        for level, index in nodes:
+            address = amap.node_addr(level, index)
+            if self._node_exempt(level, index, address):
+                continue
+            raw = persisted_bytes(ctrl, address)
+            if raw is None:
+                continue
+            if ctrl.functional_crypto:
+                node = TocNode.from_bytes(raw)
+                parent_counter = merged_parent_counter(ctrl, level, index)
+                if not ctrl.auth.verify_node(level, index, node, parent_counter):
+                    self._record(
+                        "tree_node_unverifiable", level=level, index=index
+                    )
+            self._check_clones(level, index, raw)
+        sidecars = set()
+        for index in counters:
+            address = amap.node_addr(1, index)
+            if self._node_exempt(1, index, address):
+                continue
+            raw = persisted_bytes(ctrl, address)
+            if raw is None:
+                continue
+            block = SplitCounterBlock.from_bytes(raw)
+            if ctrl.functional_crypto:
+                sidecar_address = amap.counter_mac_addr(index)
+                if not effectively_poisoned(ctrl, sidecar_address):
+                    sidecar = (
+                        persisted_bytes(ctrl, sidecar_address) or _ZERO_BLOCK
+                    )
+                    slot = amap.counter_mac_slot(index)
+                    mac = sidecar[slot * MAC_BYTES:(slot + 1) * MAC_BYTES]
+                    parent_counter = merged_parent_counter(ctrl, 1, index)
+                    if not ctrl.auth.verify_counter_block(
+                        index, block, mac, parent_counter
+                    ):
+                        self._record(
+                            "counter_block_unverifiable", counter_index=index
+                        )
+            self._check_counter_staleness(index, block)
+            self._check_clones(1, index, raw)
+            sidecars.add(
+                (amap.counter_mac_addr(index) - amap.counter_mac_offset)
+                // amap.block_size
+            )
+        for sidecar_index in sorted(sidecars):
+            self._check_sidecar_copies(sidecar_index)
+
+    def _bmt_volatile_dirty(self, address: int) -> bool:
+        """NVM bytes are legitimately stale while the authoritative copy
+        sits dirty in the cache or the victim queue (cached-eager digest
+        propagation refreshes the parent from the *cached* child)."""
+        ctrl = self.controller
+        if ctrl.metadata_cache.contains(address):
+            return ctrl.metadata_cache.is_dirty(address)
+        eviction = ctrl.victims.get(address)
+        return eviction is not None and eviction.dirty
+
+    def _check_tree_bmt(self) -> None:
+        ctrl = self.controller
+        amap = ctrl.amap
+        auth = BmtAuthenticator(ctrl.mac_engine)
+        counters, nodes = self._metadata_candidates()
+        targets = [(level, index) for level, index in nodes]
+        targets += [(1, index) for index in counters]
+        for level, index in sorted(targets):
+            address = amap.node_addr(level, index)
+            if self._node_exempt(level, index, address):
+                continue
+            if self._bmt_volatile_dirty(address):
+                continue
+            raw = persisted_bytes(ctrl, address)
+            if raw is None:
+                continue
+            if ctrl.functional_crypto:
+                expected = merged_parent_digest(ctrl, level, index)
+                if not auth.verify_block(level, index, raw, expected):
+                    self._record(
+                        "bmt_block_unverifiable", level=level, index=index
+                    )
+            self._check_clones(level, index, raw)
+            if level == 1:
+                self._check_counter_staleness(
+                    index, SplitCounterBlock.from_bytes(raw)
+                )
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence_count == 0
+
+    def summary(self) -> dict:
+        return {
+            "ok": self.ok,
+            "writes": self.writes,
+            "reads": self.reads,
+            "tree_checks": self.tree_checks,
+            "divergences": self.divergence_count,
+            "records": [dict(r) for r in self.records],
+        }

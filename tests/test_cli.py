@@ -93,8 +93,11 @@ class TestCommands:
         import json
 
         out_path = tmp_path / "report.json"
+        # Enough faults that some land on settled, non-resident counters
+        # (the injector now skips WPQ-pending cells, and cache-resident
+        # damage is healed by the next dirty writeback).
         code = main([
-            "chaos", "--ops", "500", "--faults", "3",
+            "chaos", "--ops", "800", "--faults", "10",
             "--schemes", "baseline", "src",
             "--targets", "counter",
             "--scrub-intervals", "0",

@@ -1,0 +1,146 @@
+"""Hypothesis stateful fuzz of the verified simulator.
+
+A :class:`~repro.verify.replay.ReplayContext` keeps the differential
+oracle attached while Hypothesis drives random op sequences — writes,
+reads, flushes, scrubs, faults, power cuts, rekeys.  Any oracle
+divergence, invariant violation, or typed error on a fault-free history
+fails the machine; Hypothesis shrinks the sequence and the machine
+serializes it to ``tests/corpus/last_failure.json`` in the shared
+replay-case format, so the exact failing history replays forever (and
+from the shell via ``repro verify --replay``).
+
+Every ``tests/corpus/*.json`` file — curated cases and previously
+shrunk failures alike — is replayed as a plain regression test below.
+"""
+
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.verify.replay import (
+    ReplayConfig,
+    ReplayContext,
+    load_case,
+    run_ops,
+    save_case,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+MACHINE_CONFIG = ReplayConfig(
+    scheme="src",
+    integrity_mode="toc",
+    data_bytes=8 * 1024,
+    metadata_cache_bytes=1024,
+    seed=0,
+)
+
+BLOCKS = st.integers(min_value=0, max_value=127)
+DATA = st.integers(min_value=0, max_value=2**32 - 1)
+FAULT_TARGETS = st.sampled_from(["counter", "tree", "counter_mac", "clone"])
+
+
+class VerifiedSimulatorMachine(RuleBasedStateMachine):
+    """Random op sequences must never produce a divergence."""
+
+    def __init__(self):
+        super().__init__()
+        self.config = MACHINE_CONFIG
+        self.context = ReplayContext(self.config)
+        self.ops = []
+
+    def _apply(self, op):
+        self.ops.append(op)
+        try:
+            return self.context.apply(op)
+        except Exception:
+            # Divergences AND harness crashes both leave a replayable
+            # artifact; shrinking overwrites it until only the minimal
+            # sequence remains.
+            self._dump_failure()
+            raise
+
+    def _dump_failure(self):
+        CORPUS_DIR.mkdir(exist_ok=True)
+        save_case(
+            CORPUS_DIR / "last_failure.json",
+            self.config,
+            self.ops,
+            note="shrunk failure auto-dumped by test_stateful_verify; "
+            "replays via `repro verify --replay` or the corpus test",
+        )
+
+    @rule(block=BLOCKS, data=DATA)
+    def write(self, block, data):
+        self._apply({"op": "write", "block": block, "data": data})
+
+    @rule(block=BLOCKS)
+    def read(self, block):
+        self._apply({"op": "read", "block": block})
+
+    @rule()
+    def flush(self):
+        self._apply({"op": "flush"})
+
+    @rule(target_region=FAULT_TARGETS, rank=st.integers(0, 15))
+    def fault(self, target_region, rank):
+        self._apply({"op": "fault", "target": target_region, "rank": rank})
+
+    @rule()
+    def scrub(self):
+        self._apply({"op": "scrub"})
+
+    @rule()
+    def crash_recover(self):
+        self._apply({"op": "crash_recover"})
+
+    @rule()
+    def tree_check(self):
+        self._apply({"op": "tree_check"})
+
+    @rule()
+    def rekey(self):
+        self._apply({"op": "rekey"})
+
+    def teardown(self):
+        try:
+            self.context.finish()
+        except Exception:
+            self._dump_failure()
+            raise
+
+
+VerifiedSimulatorMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=20,
+    deadline=None,
+    derandomize=True,  # CI runs one fixed, reproducible exploration
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestVerifiedSimulator = VerifiedSimulatorMachine.TestCase
+
+
+class TestCorpusReplay:
+    """Every checked-in corpus case replays clean, forever."""
+
+    def _cases(self):
+        return sorted(CORPUS_DIR.glob("*.json"))
+
+    def test_corpus_exists(self):
+        assert self._cases(), "tests/corpus/ must hold at least one case"
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted((Path(__file__).parent / "corpus").glob("*.json")),
+        ids=lambda p: p.stem,
+    )
+    def test_case_replays_clean(self, path):
+        config, ops, note = load_case(path)
+        report = run_ops(config, ops)
+        assert report["ok"], f"{path.name} ({note}): {report}"

@@ -1,0 +1,143 @@
+"""Regression tests for measurement-correctness fixes surfaced by the
+differential oracle:
+
+* a fault landing on a cell with a WPQ-pending store (the window between
+  clone-write and primary-write of an atomic group) must not trigger —
+  or double-count — clone repairs: the pending store supersedes the
+  dead media and the drain rewrites the row;
+* minor-counter overflow re-encryption must never launder unauthentic
+  ciphertext into MAC-valid data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controller.errors import SecureMemoryError
+from repro.core import make_controller
+from repro.faults.injector import FaultInjector
+from repro.controller.scrubber import MetadataScrubber
+
+KB = 1024
+
+
+def build(**kwargs):
+    kwargs.setdefault("metadata_cache_bytes", 1 * KB)
+    return make_controller(
+        "src",
+        32 * KB,
+        functional_crypto=True,
+        quarantine=True,
+        integrity_mode="toc",
+        rng=np.random.default_rng(5),
+        **kwargs,
+    )
+
+
+def pending_counter_address(ctrl, rng):
+    """Drive writes until a counter writeback sits in the WPQ."""
+    for i in range(4000):
+        block = int(rng.integers(0, ctrl.num_data_blocks))
+        ctrl.write(block, bytes([i % 251]) * 64)
+        for address in sorted(ctrl.wpq.pending_addresses()):
+            if ctrl.amap.region_of(address)[0] == "counter":
+                return address
+    raise AssertionError("no counter writeback ever queued")
+
+
+class TestWpqPendingFaults:
+    def test_poison_under_pending_store_is_inert(self):
+        """Poisoning a cell whose rewrite is already queued must not
+        count as damage: reads forward the pending bytes, no clone
+        repair fires, and the drain clears the poison."""
+        ctrl = build()
+        address = pending_counter_address(ctrl, np.random.default_rng(1))
+        counter_index = ctrl.amap.region_of(address)[1]
+        ctrl.nvm.poison_block(address)
+
+        assert not ctrl._effectively_poisoned(address)
+        repairs_before = ctrl.stats.clone_repairs
+        # Touch data covered by the poisoned counter block.
+        first_block = counter_index * 64
+        data = b"\xab" * 64
+        ctrl.write(first_block, data)
+        assert ctrl.read(first_block).data == data
+        assert ctrl.stats.clone_repairs == repairs_before
+
+        ctrl.flush()  # drains the WPQ: the queued store rewrites the row
+        assert not ctrl.nvm.is_poisoned(address)
+        assert ctrl.stats.clone_repairs == repairs_before
+
+    def test_scrubber_skips_pending_cells(self):
+        """The scrubber must not repair (or quarantine) a poisoned cell
+        that a queued store is about to rewrite — that is the
+        double-count the telemetry fix closed."""
+        ctrl = build()
+        address = pending_counter_address(ctrl, np.random.default_rng(2))
+        ctrl.nvm.poison_block(address)
+        repairs_before = ctrl.stats.clone_repairs
+        scrubber = MetadataScrubber(ctrl, interval=0)
+        scrubber.scrub()
+        assert ctrl.stats.clone_repairs == repairs_before
+        assert ctrl.quarantine.report() == []
+
+    def test_injector_targets_settled_cells_only(self):
+        """The injector skips WPQ-pending addresses: a DUE there can
+        never reach a reader, so firing at one wastes fault budget on a
+        guaranteed no-op (and skews udr denominators)."""
+        ctrl = build()
+        pending_counter_address(ctrl, np.random.default_rng(3))
+        pending = ctrl.wpq.pending_addresses()
+        assert pending  # precondition: something is in flight
+        injector = FaultInjector(
+            ctrl, targets=("counter",), seed=9, num_faults=6, horizon_ops=1
+        )
+        candidates = injector._candidates("counter")
+        assert candidates
+        assert not set(candidates) & pending
+        injector.drain()
+        assert not injector.injected_addresses() & pending
+
+
+class TestReencryptionLaundering:
+    def _overflow_page(self, ctrl):
+        """Writes that push block 0's minor counter over the 7-bit edge,
+        forcing a whole-page re-encryption."""
+        for i in range(130):
+            ctrl.write(0, bytes([(i * 3) % 251]) * 64)
+
+    @pytest.mark.parametrize("poison", [True, False])
+    def test_overflow_does_not_launder_corruption(self, poison):
+        """A sibling block whose old ciphertext cannot be authenticated
+        (bit-flipped, with or without a poison flag) must come out of
+        page re-encryption still failing loudly — never as freshly
+        MAC'd garbage."""
+        ctrl = build()
+        ctrl.write(1, b"\x42" * 64)
+        ctrl.flush()
+        address = ctrl.amap.data_addr(1)
+        ctrl.nvm.flip_bits(address, [0, 13, 77])
+        if poison:
+            ctrl.nvm.poison_block(address)
+
+        skipped_before = ctrl.stats.reencrypt_skipped_blocks
+        self._overflow_page(ctrl)
+        assert ctrl.stats.page_reencryptions >= 1
+        assert ctrl.stats.reencrypt_skipped_blocks > skipped_before
+
+        with pytest.raises(SecureMemoryError):
+            ctrl.read(1)
+        # The healthy sibling sails through under the new major.
+        assert ctrl.read(0).data is not None
+
+    def test_overflow_clean_page_roundtrips(self):
+        """Control case: with no corruption, re-encryption preserves
+        every sibling's plaintext."""
+        ctrl = build()
+        ctrl.write(1, b"\x42" * 64)
+        ctrl.write(2, b"\x43" * 64)
+        ctrl.flush()
+        self._overflow_page(ctrl)
+        assert ctrl.stats.page_reencryptions >= 1
+        assert ctrl.stats.reencrypt_skipped_blocks == 0
+        assert ctrl.read(1).data == b"\x42" * 64
+        assert ctrl.read(2).data == b"\x43" * 64
