@@ -27,11 +27,84 @@ from repro.analysis import compare_schemes, figure12_table, level_inventory
 from repro.core import SCHEMES, make_controller
 from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
 from repro.recovery import OsirisRecovery, RecoveryManager
-from repro.sim import SimCell, SweepEngine, SystemConfig, run_bench, write_bench
+from repro.runtime import (
+    TooManyFailuresError,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.sim import (
+    SimCell,
+    SweepEngine,
+    SystemConfig,
+    run_bench,
+    sweep_report,
+    write_bench,
+)
 from repro.workloads import make_workload, standard_suite_specs
 
 KB = 1024
 MB = 1024 * KB
+
+#: Exit codes for long-running sweeps: a tripped ``--max-failures``
+#: circuit breaker, and a graceful SIGINT/SIGTERM drain that salvaged
+#: a partial (resumable) result.
+EXIT_ABORTED = 2
+EXIT_INTERRUPTED = 3
+
+
+def _add_runtime_args(p) -> None:
+    """The preemption-tolerance flags shared by the sweep commands."""
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="journal completed cells to DIR (checkpoint/v1) "
+                        "so the sweep can be resumed after a kill")
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="resume from DIR: skip journaled cells, keep "
+                        "journaling new ones (merged results are "
+                        "bit-identical to an uninterrupted run)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECS",
+                   help="hung-worker watchdog: kill and replace a worker "
+                        "whose cell runs longer than SECS (needs --jobs 2+)")
+    p.add_argument("--max-failures", type=int, default=None, metavar="N",
+                   help="circuit breaker: abort the sweep after N "
+                        "terminal cell failures")
+
+
+def _runtime_kwargs(args) -> dict:
+    """SweepEngine kwargs from the shared runtime flags."""
+    checkpoint = args.checkpoint
+    resume = False
+    if args.resume:
+        if checkpoint and checkpoint != args.resume:
+            raise SystemExit(
+                "--checkpoint and --resume point at different directories; "
+                "--resume already implies journaling into its directory"
+            )
+        checkpoint = args.resume
+        resume = True
+    return {
+        "checkpoint": checkpoint,
+        "resume": resume,
+        "timeout": args.cell_timeout,
+        "max_failures": args.max_failures,
+    }
+
+
+def _finish_sweep(engine, outcomes, args, kind: str, code: int) -> int:
+    """Shared tail of a sweep command: sweep/v1 report + salvage note."""
+    if getattr(args, "out", None):
+        atomic_write_json(
+            args.out, sweep_report(engine, outcomes, kind=kind)
+        )
+        print(f"wrote {args.out}")
+    if engine.interrupted:
+        done = sum(1 for o in outcomes if o.ok)
+        print(f"INTERRUPTED by {engine.signal_name}: salvaged "
+              f"{done}/{len(outcomes)} cells"
+              + (f"; resume with --resume {args.resume or args.checkpoint}"
+                 if (args.resume or args.checkpoint) else ""))
+        return EXIT_INTERRUPTED
+    return code
 
 
 def _parse_size(text: str) -> int:
@@ -84,11 +157,16 @@ def cmd_perf(args) -> int:
             return 1
     schemes = ("baseline", "src", "sac")
     cells = [
-        SimCell(workload=spec, scheme=scheme, config=config)
+        SimCell(workload=spec, scheme=scheme, config=config, seed=args.seed)
         for _, spec in named
         for scheme in schemes
     ]
-    outcomes = SweepEngine(cells, jobs=args.jobs).run()
+    engine = SweepEngine(cells, jobs=args.jobs, **_runtime_kwargs(args))
+    try:
+        outcomes = engine.run()
+    except TooManyFailuresError as exc:
+        print(f"ABORTED: {exc}")
+        return EXIT_ABORTED
     print(f"{'workload':>12} {'SRC time':>9} {'SAC time':>9} "
           f"{'SRC writes':>11} {'SAC writes':>11}")
     code = 0
@@ -106,7 +184,7 @@ def cmd_perf(args) -> int:
               f"{out['sac'].slowdown_vs(base) * 100:>8.2f}% "
               f"{out['src'].write_overhead_vs(base) * 100:>10.2f}% "
               f"{out['sac'].write_overhead_vs(base) * 100:>10.2f}%")
-    return code
+    return _finish_sweep(engine, outcomes, args, "perf", code)
 
 
 def _reliability_cell(cell):
@@ -138,6 +216,7 @@ def cmd_bench(args) -> int:
         footprint_mb=args.footprint_mb,
         memory_mb=args.memory_mb,
         progress=progress,
+        checkpoint_dir=args.checkpoint,
     )
     path = write_bench(payload, args.out)
     print(f"serial wall   {payload['serial_wall_s']:8.2f}s")
@@ -155,9 +234,15 @@ def cmd_reliability(args) -> int:
     cells = [
         (fit, args.trials, args.ecc, args.seed, size) for fit in args.fits
     ]
-    outcomes = SweepEngine(
-        cells, runner=_reliability_cell, jobs=args.jobs
-    ).run()
+    engine = SweepEngine(
+        cells, runner=_reliability_cell, jobs=args.jobs,
+        **_runtime_kwargs(args),
+    )
+    try:
+        outcomes = engine.run()
+    except TooManyFailuresError as exc:
+        print(f"ABORTED: {exc}")
+        return EXIT_ABORTED
     print(f"{'FIT':>4} {'MTBF(h)':>9} {'baseline':>12} {'SRC':>12} {'SAC':>12}")
     for fit, outcome in zip(args.fits, outcomes):
         if not outcome.ok:
@@ -177,7 +262,7 @@ def cmd_reliability(args) -> int:
         for scheme, d in figure12_table(result.p_block_due, size).items():
             print(f"  {scheme:>11}: L_total {d.l_total_bytes / (1 << 20):8.2f} MB "
                   f"({d.inflation:.2f}x vs non-secure)")
-    return 0
+    return _finish_sweep(engine, outcomes, args, "reliability", 0)
 
 
 def cmd_chaos(args) -> int:
@@ -199,11 +284,20 @@ def cmd_chaos(args) -> int:
         enforce_invariant=not args.no_enforce,
         oracle=args.oracle,
     )
+    runtime = _runtime_kwargs(args)
     try:
-        report = run_campaign(config, jobs=args.jobs)
+        report = run_campaign(
+            config, jobs=args.jobs,
+            checkpoint=runtime["checkpoint"], resume=runtime["resume"],
+            max_failures=runtime["max_failures"],
+            cell_timeout=runtime["timeout"],
+        )
     except SilentCorruptionError as exc:
         print(f"INVARIANT VIOLATED: {exc}")
         return 1
+    except TooManyFailuresError as exc:
+        print(f"ABORTED: {exc}")
+        return EXIT_ABORTED
 
     print(f"{'scheme':>9} {'runs':>5} {'mean UDR':>10} {'max UDR':>9} "
           f"{'repairs':>8} {'quarantined':>12} {'violations':>11}")
@@ -219,16 +313,22 @@ def cmd_chaos(args) -> int:
     print(f"no-silent-corruption invariant: "
           f"{'HELD' if report.invariant_ok else 'VIOLATED'}")
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(report.to_json())
+        atomic_write_text(args.out, report.to_json() + "\n")
         print(f"wrote {args.out}")
-    return 0 if report.invariant_ok else 1
+    if not report.invariant_ok:
+        return 1
+    if report.interrupted:
+        salvage = report.salvage
+        print(f"INTERRUPTED: salvaged {salvage.get('completed', 0)}"
+              f"/{salvage.get('total', 0)} runs"
+              + (f"; resume with --resume {args.resume or args.checkpoint}"
+                 if (args.resume or args.checkpoint) else ""))
+        return EXIT_INTERRUPTED
+    return 0
 
 
 def cmd_verify(args) -> int:
     """Differential verification: oracle-checked workloads + crash points."""
-    import json
-
     from repro.verify import CrashPointConfig, run_crash_points
 
     if args.replay:
@@ -242,8 +342,7 @@ def cmd_verify(args) -> int:
               f"{report['ops_applied']} ops, "
               f"{report['typed_errors']} typed errors")
         if args.out:
-            with open(args.out, "w") as fh:
-                json.dump(report, fh, indent=2, sort_keys=True)
+            atomic_write_json(args.out, report)
             print(f"wrote {args.out}")
         return 0 if report["ok"] else 1
 
@@ -315,8 +414,7 @@ def cmd_verify(args) -> int:
         "ok": ok,
     }
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        atomic_write_json(args.out, payload)
         print(f"wrote {args.out}")
     print(f"verification {'PASSED' if ok else 'FAILED'}")
     return 0 if ok else 1
@@ -335,8 +433,7 @@ def cmd_metrics(args) -> int:
 
     text = manifest_json()
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text)
+        atomic_write_text(args.out, text)
         print(f"wrote {args.out}")
     else:
         print(text, end="")
@@ -422,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subset of suite names (default: all)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (output identical to --jobs 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="per-cell base seed (same seed -> same table)")
+    p.add_argument("--out", default=None,
+                   help="write the sweep/v1 JSON report here")
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
@@ -437,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_perf.json")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress lines")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="journal both legs' cells under DIR so the "
+                        "measured overhead includes checkpointing")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("reliability", help="FaultSim + UDR sweep")
@@ -451,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Monte-Carlo seed (same seed -> same table)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one FIT point per cell")
+    p.add_argument("--out", default=None,
+                   help="write the sweep/v1 JSON report here")
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_reliability)
 
     p = sub.add_parser(
@@ -481,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the differential oracle to every run")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one campaign run per cell")
+    _add_runtime_args(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(

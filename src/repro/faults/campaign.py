@@ -132,6 +132,15 @@ class CampaignReport:
     schemes: dict = field(default_factory=dict)   # per-scheme summary
     resilience: dict = field(default_factory=dict)
     invariant_ok: bool = True
+    #: True when the campaign was drained early (SIGINT/SIGTERM): the
+    #: report then covers only the salvaged runs.
+    interrupted: bool = False
+    #: Per-class completion counts (total/completed/resumed/failed/
+    #: interrupted) from :func:`repro.sim.salvage_counts`.
+    salvage: dict = field(default_factory=dict)
+    #: Runtime-telemetry snapshot from the sweep engine (retries,
+    #: worker restarts, cells resumed, ...).
+    runtime: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -141,6 +150,9 @@ class CampaignReport:
             "schemes": self.schemes,
             "resilience": self.resilience,
             "invariant_ok": self.invariant_ok,
+            "interrupted": self.interrupted,
+            "salvage": self.salvage,
+            "runtime": self.runtime,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -352,12 +364,23 @@ def _campaign_cell(cell):
 
 
 def run_campaign(config: CampaignConfig = None, jobs: int = 1,
-                 progress=None) -> CampaignReport:
+                 progress=None, *, checkpoint=None, resume: bool = False,
+                 max_failures: int = None,
+                 cell_timeout: float = None) -> CampaignReport:
     """Sweep schemes x targets x scrub intervals; aggregate and audit.
 
     ``jobs > 1`` fans the independent (scheme, target, interval) runs
     across worker processes via :class:`repro.sim.SweepEngine`; results
     are aggregated in deterministic sweep order either way.
+
+    The resilience knobs thread straight into the engine:
+    ``checkpoint`` journals completed runs (``checkpoint/v1``) so
+    ``resume=True`` skips them after a preemption; ``cell_timeout``
+    arms the hung-worker watchdog; ``max_failures`` trips the typed
+    circuit breaker.  A drained (SIGINT/SIGTERM) campaign returns a
+    *partial* report marked ``interrupted`` with salvage counts
+    instead of raising — every run is seeded, so resuming later
+    converges to the uninterrupted report bit-for-bit.
     """
     config = config or CampaignConfig()
     cells = [
@@ -366,12 +389,16 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
         for target in config.targets
         for interval in config.scrub_intervals
     ]
-    from repro.sim.sweep import SweepEngine
+    from repro.sim.sweep import SweepEngine, salvage_counts
 
-    outcomes = SweepEngine(
-        cells, runner=_campaign_cell, jobs=jobs, progress=progress
-    ).run()
-    failed = [o for o in outcomes if not o.ok]
+    engine = SweepEngine(
+        cells, runner=_campaign_cell, jobs=jobs, progress=progress,
+        checkpoint=checkpoint, resume=resume, max_failures=max_failures,
+        timeout=cell_timeout,
+    )
+    outcomes = engine.run()
+    failed = [o for o in outcomes
+              if not o.ok and o.failure_class != "interrupted"]
     if failed:
         raise RuntimeError(
             f"{len(failed)} campaign run(s) failed: "
@@ -381,6 +408,8 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
     runs = []
     poisoned_fractions = {}
     for outcome in outcomes:
+        if not outcome.ok:
+            continue   # interrupted before this run completed
         result = outcome.result
         runs.append(result)
         fraction = result.injector["poisoned_blocks"] / max(
@@ -391,6 +420,8 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
     schemes = {}
     for scheme in config.schemes:
         mine = [r for r in runs if r.scheme == scheme]
+        if not mine:
+            continue   # nothing salvaged for this scheme (interrupted)
         udrs = [r.empirical_udr for r in mine]
         p_eff = min(1.0, sum(poisoned_fractions[scheme]) /
                     len(poisoned_fractions[scheme]))
@@ -422,7 +453,7 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
     if "baseline" in schemes:
         base = schemes["baseline"]["mean_empirical_udr"]
         for scheme in config.schemes:
-            if scheme == "baseline":
+            if scheme == "baseline" or scheme not in schemes:
                 continue
             mine = schemes[scheme]["mean_empirical_udr"]
             resilience[scheme] = {
@@ -440,6 +471,9 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
         schemes=schemes,
         resilience=resilience,
         invariant_ok=violations == 0,
+        interrupted=engine.interrupted,
+        salvage=salvage_counts(outcomes),
+        runtime=engine.registry.snapshot(),
     )
     if config.enforce_invariant and violations:
         bad = [v for r in runs for v in r.violations]

@@ -186,10 +186,16 @@ def mtbf_rows(fits=FIT_SWEEP):
 # ---------------------------------------------------------------------------
 
 def export_csv(path, header, rows) -> None:
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        writer.writerows(rows)
+    """Durably publish one figure CSV (atomic tmp+fsync+rename)."""
+    import io
+
+    from repro.runtime import atomic_write_text
+
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    atomic_write_text(path, buffer.getvalue())
 
 
 def run_all(outdir, quick: bool = True, echo=print) -> dict:

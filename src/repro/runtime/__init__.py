@@ -1,0 +1,58 @@
+"""Preemption-tolerant campaign runtime.
+
+Resilience primitives shared by every long-running harness in the
+repo: crash-safe artifact writing (:mod:`repro.runtime.atomic`),
+checkpoint/resume journals (:mod:`repro.runtime.checkpoint`), and
+worker supervision — failure taxonomy, retry policy with decorrelated
+jitter, graceful signal draining (:mod:`repro.runtime.supervision`).
+:class:`repro.sim.SweepEngine` and the chaos campaign runner are built
+on top of this package.
+"""
+
+from repro.runtime.atomic import (
+    SimulatedCrashError,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_directory,
+    set_failpoint,
+)
+from repro.runtime.checkpoint import (
+    JOURNAL_NAME,
+    SCHEMA_VERSION as CHECKPOINT_SCHEMA,
+    CheckpointJournal,
+    cell_key,
+    sweep_fingerprint,
+)
+from repro.runtime.supervision import (
+    FAILURE_CLASSES,
+    AttemptRecord,
+    CheckpointMismatchError,
+    FatalCellError,
+    RetryPolicy,
+    SignalDrain,
+    SweepError,
+    TooManyFailuresError,
+    classify_failure,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "FAILURE_CLASSES",
+    "FatalCellError",
+    "JOURNAL_NAME",
+    "RetryPolicy",
+    "SignalDrain",
+    "SimulatedCrashError",
+    "SweepError",
+    "TooManyFailuresError",
+    "atomic_write_json",
+    "atomic_write_text",
+    "cell_key",
+    "classify_failure",
+    "fsync_directory",
+    "set_failpoint",
+    "sweep_fingerprint",
+]

@@ -1,0 +1,256 @@
+"""``checkpoint/v1``: a crash-safe journal of completed sweep cells.
+
+A long sweep appends one JSONL record per *successfully completed*
+cell to ``<dir>/journal.jsonl``.  Each record is keyed by a
+deterministic content-addressed digest of the cell description (plus
+the runner's identity), so ``--resume <dir>``:
+
+* skips every cell whose key is already journaled (restoring its exact
+  :class:`~repro.sim.sweep.CellOutcome`, result object included), and
+* re-runs everything else — failed cells are deliberately *not*
+  journaled, so a resume retries them.
+
+Because a cell's result is a pure function of its description, the
+merged (resumed + fresh) results are bit-identical to an uninterrupted
+run.  The journal is append-only and fsync'd per record; a crash can
+at worst leave a torn final line, which :meth:`CheckpointJournal.load`
+discards (and truncates away before appending resumes), so the journal
+itself is crash-safe without any atomic-rename machinery.
+
+Record grammar (one JSON object per line)::
+
+    {"kind": "header", "schema": "checkpoint/v1",
+     "fingerprint": "<sha256 of runner + sorted cell keys>",
+     "total_cells": N}
+    {"kind": "cell", "key": "<sha256>", "index": i, "label": "...",
+     "ok": true, "attempts": n, "wall_seconds": w,
+     "failure_class": "", "result_b64": "<base64 pickle>"}
+
+``result_b64`` carries the pickled result object so restoration is
+exact for any picklable result type (dataclass, dict, ...); the
+scalar fields beside it keep the journal greppable and are what the
+schema doc (VERIFY_SCHEMA.md) pins.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+
+from repro.runtime.atomic import fsync_directory
+from repro.runtime.supervision import CheckpointMismatchError
+
+SCHEMA_VERSION = "checkpoint/v1"
+JOURNAL_NAME = "journal.jsonl"
+
+
+def _canonical(obj):
+    """JSON-able canonical form of a cell description.
+
+    Dataclasses become ``{"__type__": name, fields...}`` so two
+    different description types with the same field values cannot
+    collide; tuples/lists/dicts/sets recurse; numpy scalars reduce to
+    Python numbers via ``item()``; callables contribute their qualified
+    name (cells sometimes carry factory references).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(),
+                                                         key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_canonical(v) for v in obj), key=str)
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": bytes(obj).hex()}
+    if callable(obj):
+        return {"__callable__": f"{getattr(obj, '__module__', '?')}."
+                                f"{getattr(obj, '__qualname__', repr(obj))}"}
+    if hasattr(obj, "item") and not isinstance(obj, (str, int, float, bool)):
+        try:
+            return obj.item()   # numpy scalar
+        except (TypeError, ValueError):
+            pass
+    return obj
+
+
+def cell_key(cell, runner=None) -> str:
+    """Content-addressed key: sha256 of the canonical cell description.
+
+    The runner's identity is mixed in so e.g. a perf cell and a
+    campaign cell that happen to serialize identically can never
+    satisfy each other's checkpoint.
+    """
+    payload = {"cell": _canonical(cell)}
+    if runner is not None:
+        payload["runner"] = (f"{getattr(runner, '__module__', '?')}."
+                             f"{getattr(runner, '__qualname__', repr(runner))}")
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def sweep_fingerprint(keys) -> str:
+    """Identity of a whole sweep: sha256 over the sorted cell keys."""
+    digest = hashlib.sha256()
+    for key in sorted(keys):
+        digest.update(key.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class CheckpointJournal:
+    """Append-only, fsync'd journal of completed cell outcomes.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created if missing); the journal lives at
+        ``<directory>/journal.jsonl``.
+    fingerprint:
+        The sweep fingerprint the journal must belong to.  On resume a
+        mismatch raises :class:`CheckpointMismatchError` instead of
+        silently merging two different experiments.
+    total_cells:
+        Advisory cell count recorded in the header.
+    resume:
+        ``True`` loads any existing journal (tolerating a torn tail)
+        and appends to it; ``False`` starts a fresh journal.
+    fail_after_appends:
+        Test-only failpoint: after this many successful appends the
+        next append writes *half* a record and raises
+        :class:`~repro.runtime.atomic.SimulatedCrashError`, simulating
+        a power cut mid-append.
+    """
+
+    def __init__(self, directory, *, fingerprint: str, total_cells: int = 0,
+                 resume: bool = False, fail_after_appends: int = None):
+        self.directory = os.fspath(directory)
+        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        self.fingerprint = fingerprint
+        self.total_cells = total_cells
+        self._fail_after = fail_after_appends
+        self._appends = 0
+        self._fh = None
+        self.completed: dict = {}    # key -> restored outcome
+        os.makedirs(self.directory, exist_ok=True)
+        if resume and os.path.exists(self.path):
+            self._load_existing()
+            self._fh = open(self.path, "a")
+        else:
+            self._fh = open(self.path, "w")
+            self._append_line({
+                "kind": "header",
+                "schema": SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "total_cells": self.total_cells,
+            })
+
+    # -- loading -------------------------------------------------------
+
+    def _load_existing(self) -> None:
+        """Replay the journal; discard (and truncate) a torn tail."""
+        good_end = 0
+        header = None
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break   # torn tail: crash mid-append
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    break   # torn line that still got its newline
+                if header is None:
+                    if record.get("kind") != "header":
+                        raise CheckpointMismatchError(
+                            f"{self.path}: first record is not a header"
+                        )
+                    if record.get("schema") != SCHEMA_VERSION:
+                        raise CheckpointMismatchError(
+                            f"{self.path}: schema "
+                            f"{record.get('schema')!r} != {SCHEMA_VERSION}"
+                        )
+                    if record.get("fingerprint") != self.fingerprint:
+                        raise CheckpointMismatchError(
+                            f"{self.path}: journal belongs to a different "
+                            "sweep (cell grid, seed, or runner changed); "
+                            "refusing to merge"
+                        )
+                    header = record
+                elif record.get("kind") == "cell" and record.get("ok"):
+                    self.completed[record["key"]] = record
+                good_end += len(raw)
+        if header is None:
+            raise CheckpointMismatchError(
+                f"{self.path}: no readable header record"
+            )
+        end = os.path.getsize(self.path)
+        if good_end != end:
+            # Drop the torn tail so the next append starts on a clean
+            # line boundary instead of concatenating onto garbage.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+
+    # -- appending -----------------------------------------------------
+
+    def _append_line(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._fail_after is not None and self._appends >= self._fail_after:
+            from repro.runtime.atomic import SimulatedCrashError
+
+            # Simulate a power cut mid-append: half a record, no fsync.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            raise SimulatedCrashError(
+                f"injected crash during journal append #{self._appends + 1}"
+            )
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._appends += 1
+
+    def record(self, key: str, outcome) -> None:
+        """Journal one successfully completed cell outcome."""
+        self._append_line({
+            "kind": "cell",
+            "key": key,
+            "index": outcome.index,
+            "label": outcome.label,
+            "ok": bool(outcome.ok),
+            "attempts": outcome.attempts,
+            "wall_seconds": outcome.wall_seconds,
+            "failure_class": getattr(outcome, "failure_class", ""),
+            "result_b64": base64.b64encode(
+                pickle.dumps(outcome.result)
+            ).decode("ascii"),
+        })
+
+    @staticmethod
+    def restore_result(record: dict):
+        """The exact result object a journaled record carried."""
+        return pickle.loads(base64.b64decode(record["result_b64"]))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass
+            self._fh.close()
+            self._fh = None
+            fsync_directory(self.directory)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -3,6 +3,7 @@
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
 from repro.sim.sweep import (
+    SWEEP_SCHEMA,
     CellOutcome,
     SimCell,
     SweepEngine,
@@ -10,12 +11,15 @@ from repro.sim.sweep import (
     bench_cells,
     run_bench,
     run_sim_cell,
+    salvage_counts,
+    sweep_report,
     write_bench,
 )
 from repro.sim.system import SecureSystem, run_schemes
 
 __all__ = [
     "CellOutcome",
+    "SWEEP_SCHEMA",
     "SecureSystem",
     "SimCell",
     "SimResult",
@@ -26,5 +30,7 @@ __all__ = [
     "run_bench",
     "run_schemes",
     "run_sim_cell",
+    "salvage_counts",
+    "sweep_report",
     "write_bench",
 ]

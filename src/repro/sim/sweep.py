@@ -1,35 +1,75 @@
-"""Parallel experiment engine for (workload x scheme x config) sweeps.
+"""Preemption-tolerant parallel engine for (workload x scheme x config)
+sweeps.
 
-Every figure and ablation is a grid of independent simulation cells, so
-the engine is deliberately simple: describe each cell with picklable
-data, fan the cells across ``concurrent.futures.ProcessPoolExecutor``
-workers, and reassemble the results in submission order so the output
-is deterministic regardless of completion order.
+Every figure and ablation is a grid of independent simulation cells:
+describe each cell with picklable data, fan the cells across
+``concurrent.futures.ProcessPoolExecutor`` workers, and reassemble the
+results in submission order so the output is deterministic regardless
+of completion order.
 
 Determinism contract: a cell's result is a pure function of the cell
 description (every cell derives its own seed), and ``jobs=1`` executes
 the *same* runner in-process, so ``jobs=1`` and ``jobs=N`` produce
-bit-identical results.  Failures degrade gracefully — a cell that
-raises (or exceeds its wait budget) is retried and, if still failing,
-reported in its :class:`CellOutcome` instead of killing the sweep.
+bit-identical results.  On top of that, the engine is built on
+:mod:`repro.runtime` to survive the failure modes of long campaigns:
+
+* **checkpoint/resume** — with ``checkpoint=<dir>`` every completed
+  cell is journaled (``checkpoint/v1``, fsync'd JSONL) under a
+  content-addressed key; ``resume=True`` skips journaled cells and
+  restores their exact outcomes, so an interrupted sweep resumed later
+  merges to results bit-identical to an uninterrupted run.
+* **worker supervision** — a watchdog tracks when each in-flight cell
+  actually started running (the per-worker heartbeat); a cell over its
+  ``timeout`` grace gets its worker killed and replaced.  Failures are
+  classified (``timeout`` / ``crashed`` / ``oom`` / ``retryable`` /
+  ``fatal``) and retried per class with exponential backoff +
+  decorrelated jitter.
+* **graceful shutdown** — the first SIGINT/SIGTERM drains in-flight
+  cells, flushes the journal, and returns partial outcomes (unfinished
+  cells marked ``interrupted``); a second signal hard-stops.
+* **circuit breaker** — ``max_failures=N`` raises a typed
+  :class:`~repro.runtime.TooManyFailuresError` after N terminal cell
+  failures instead of grinding through a doomed matrix.
 
 ``run_bench`` runs the pinned benchmark sweep (4 workloads x 3 schemes)
 serially and in parallel, verifies bit-equality, and emits
-``BENCH_perf.json`` so the repo accumulates a perf trajectory.
+``BENCH_perf.json`` (via the crash-safe atomic writer) so the repo
+accumulates a perf trajectory.
 """
 
 from __future__ import annotations
 
-import json
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.runtime import (
+    AttemptRecord,
+    CheckpointJournal,
+    RetryPolicy,
+    SignalDrain,
+    TooManyFailuresError,
+    atomic_write_json,
+    cell_key,
+    sweep_fingerprint,
+)
+from repro.runtime.supervision import CRASHED, TIMEOUT, CellState
 from repro.sim.config import SystemConfig
 from repro.sim.system import SecureSystem, _workload_seed
 from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
+from repro.telemetry import MetricRegistry
+
+#: Schema stamp for :func:`sweep_report` payloads.
+SWEEP_SCHEMA = "sweep/v1"
 
 
 @dataclass(frozen=True)
@@ -61,7 +101,14 @@ class SimCell:
 
 @dataclass
 class CellOutcome:
-    """What happened to one cell: its result or its failure."""
+    """What happened to one cell: its result or its classified failure.
+
+    ``attempts`` counts runner *starts* (exact even under jobs=N
+    out-of-order completion — each submission increments it exactly
+    once); ``attempt_history`` records every failed attempt with its
+    failure class and backoff; ``resumed`` marks outcomes restored
+    from a checkpoint journal instead of executed this run.
+    """
 
     index: int
     label: str
@@ -70,6 +117,9 @@ class CellOutcome:
     error: str = ""
     attempts: int = 1
     wall_seconds: float = 0.0
+    failure_class: str = ""
+    resumed: bool = False
+    attempt_history: list = field(default_factory=list)
 
 
 @dataclass
@@ -82,6 +132,10 @@ class SweepProgress:
     eta_seconds: float
     label: str
     ok: bool
+    #: True when this cell was restored from the checkpoint journal
+    #: rather than executed (resumed cells complete "instantly" and are
+    #: excluded from the ETA rate estimate).
+    resumed: bool = False
 
 
 def run_sim_cell(cell: SimCell):
@@ -123,157 +177,181 @@ class SweepEngine:
         Worker processes.  ``jobs <= 1`` runs in-process (same runner,
         identical results, no pickling requirement).
     timeout:
-        Per-cell wait budget in seconds once the sweep starts draining
-        completions (None = wait forever).  A cell over budget is
-        cancelled if it has not started, abandoned otherwise; either
-        way it degrades to a failed :class:`CellOutcome`.
+        Per-cell running-time grace in seconds (None = wait forever).
+        The clock starts when the cell is *observed running* on a
+        worker — queue wait does not count — and an over-budget cell
+        gets its worker killed and replaced, the failure classified
+        ``timeout`` and retried per the policy.  Requires ``jobs >= 2``
+        (an in-process cell cannot be preempted).
     retries:
-        Extra attempts for a cell whose runner raised.
+        Extra attempts for a failing cell (shorthand for the default
+        :class:`~repro.runtime.RetryPolicy`).
+    retry_policy:
+        Full per-class retry/backoff policy; overrides ``retries``.
     progress:
         Optional callable receiving a :class:`SweepProgress` after each
-        cell completes (ETA from mean observed cell latency).
+        cell completes (ETA from mean observed fresh-cell latency).
+    checkpoint:
+        Checkpoint directory (str/path), or a factory
+        ``(fingerprint, total_cells) -> CheckpointJournal`` for tests.
+        Completed cells are journaled crash-safely as they finish.
+    resume:
+        With ``checkpoint``, load the existing journal and skip every
+        already-completed cell (restoring its exact outcome).
+    max_failures:
+        Circuit breaker: raise :class:`TooManyFailuresError` after this
+        many terminal cell failures.
+    registry:
+        Optional :class:`~repro.telemetry.MetricRegistry` to register
+        the runtime instruments in (``runtime.retries``,
+        ``runtime.worker_restarts``, ``runtime.cells_resumed``,
+        ``runtime.failures`` by class, ``runtime.heartbeat_age_s``);
+        one is created per engine otherwise.
     """
 
     def __init__(self, cells, runner=run_sim_cell, *, jobs: int = 1,
-                 timeout: float = None, retries: int = 1, progress=None):
+                 timeout: float = None, retries: int = 1, progress=None,
+                 checkpoint=None, resume: bool = False,
+                 max_failures: int = None, retry_policy: RetryPolicy = None,
+                 registry: MetricRegistry = None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if max_failures is not None and max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
         self.cells = list(cells)
         self.runner = runner
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = retries
+        self.policy = retry_policy or RetryPolicy(retries=retries)
         self.progress = progress
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.max_failures = max_failures
+
+        self.registry = registry or MetricRegistry()
+        self._m_retries = self.registry.counter(
+            "runtime.retries", help="cell attempts retried after a failure")
+        self._m_restarts = self.registry.counter(
+            "runtime.worker_restarts",
+            help="worker pools killed and replaced (hung or crashed)")
+        self._m_resumed = self.registry.counter(
+            "runtime.cells_resumed",
+            help="cells restored from the checkpoint journal")
+        self._m_completed = self.registry.counter(
+            "runtime.cells_completed", help="cells completed this run")
+        self._m_failures = self.registry.labeled_counter(
+            "runtime.failures", label="failure_class",
+            help="terminal cell failures by class")
+        self._m_heartbeat = self.registry.gauge(
+            "runtime.heartbeat_age_s",
+            help="age of the oldest in-flight cell heartbeat")
+
+        #: Populated by :meth:`run`.
+        self.interrupted = False
+        self.signal_name = ""
+        self.failures: list = []
+        self.resumed_count = 0
 
     # -- public API ----------------------------------------------------
 
     def run(self) -> list:
-        """Execute every cell; outcomes in cell order (never raises for
-        a failing cell — inspect ``CellOutcome.ok``)."""
+        """Execute every cell; outcomes in cell order (a failing cell
+        degrades to ``CellOutcome.ok == False`` instead of raising —
+        only the ``max_failures`` breaker and checkpoint/journal errors
+        raise)."""
         if not self.cells:
             return []
-        if self.jobs == 1:
-            return self._run_serial()
-        return self._run_parallel()
-
-    # -- serial --------------------------------------------------------
-
-    def _run_serial(self) -> list:
-        outcomes = []
-        started = time.perf_counter()
-        for index, cell in enumerate(self.cells):
-            outcome = self._attempt_serial(index, cell)
-            outcomes.append(outcome)
-            self._report(len(outcomes), started, outcome)
-        return outcomes
-
-    def _attempt_serial(self, index: int, cell) -> CellOutcome:
-        label = getattr(cell, "label", str(cell))
-        error = ""
-        for attempt in range(1, self.retries + 2):
-            start = time.perf_counter()
-            try:
-                result = self.runner(cell)
-            except Exception as exc:  # degrade, don't kill the sweep
-                error = f"{type(exc).__name__}: {exc}"
-                continue
-            return CellOutcome(
-                index=index, label=label, ok=True, result=result,
-                attempts=attempt,
-                wall_seconds=time.perf_counter() - start,
-            )
-        return CellOutcome(
-            index=index, label=label, ok=False, error=error,
-            attempts=self.retries + 1,
-        )
-
-    # -- parallel ------------------------------------------------------
-
-    def _run_parallel(self) -> list:
+        self.interrupted = False
+        self.signal_name = ""
+        self.failures = []
+        self.resumed_count = 0
+        journal = self._open_journal()
         outcomes = [None] * len(self.cells)
-        attempts = [1] * len(self.cells)
-        started = time.perf_counter()
-        done_count = 0
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        drain = SignalDrain()
         try:
-            pending = {
-                pool.submit(_timed_call, self.runner, cell): index
-                for index, cell in enumerate(self.cells)
-            }
-            deadlines = {
-                future: (None if self.timeout is None
-                         else started + self.timeout)
-                for future in pending
-            }
-            while pending:
-                finished, _ = wait(
-                    pending, timeout=0.25, return_when=FIRST_COMPLETED
-                )
-                now = time.perf_counter()
-                for future in finished:
-                    index = pending.pop(future)
-                    del deadlines[future]
-                    outcome = self._collect(index, future, attempts)
-                    if outcome is None:  # retry granted
-                        attempts[index] += 1
-                        retry = pool.submit(
-                            _timed_call, self.runner, self.cells[index]
-                        )
-                        pending[retry] = index
-                        deadlines[retry] = (
-                            None if self.timeout is None
-                            else now + self.timeout
-                        )
-                        continue
-                    outcomes[index] = outcome
-                    done_count += 1
-                    self._report(done_count, started, outcome)
-                for future, deadline in list(deadlines.items()):
-                    if deadline is None or now < deadline or future.done():
-                        continue
-                    index = pending.pop(future)
-                    del deadlines[future]
-                    future.cancel()
-                    outcomes[index] = CellOutcome(
-                        index=index,
-                        label=getattr(self.cells[index], "label",
-                                      str(self.cells[index])),
-                        ok=False,
-                        error=f"timeout after {self.timeout:.1f}s",
-                        attempts=attempts[index],
-                    )
-                    done_count += 1
-                    self._report(done_count, started, outcomes[index])
+            with drain:
+                self._restore_resumed(journal, outcomes)
+                if self.jobs == 1:
+                    self._run_serial(outcomes, journal, drain)
+                else:
+                    self._run_parallel(outcomes, journal, drain)
         finally:
-            # wait=False so an abandoned (timed-out but still running)
-            # worker can't wedge the sweep's exit.
-            pool.shutdown(wait=False, cancel_futures=True)
+            if journal is not None:
+                journal.close()
+        self.interrupted = drain.requested and any(
+            o is None for o in outcomes
+        )
+        self.signal_name = drain.signal_name
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:
+                outcomes[index] = CellOutcome(
+                    index=index,
+                    label=self._label(index),
+                    ok=False,
+                    error=(f"interrupted by {drain.signal_name}"
+                           if drain.signal_name else "interrupted"),
+                    attempts=0,
+                    failure_class="interrupted",
+                )
         return outcomes
 
-    def _collect(self, index: int, future, attempts):
-        """Outcome for a finished future, or None to grant a retry."""
-        label = getattr(self.cells[index], "label", str(self.cells[index]))
-        try:
-            result, wall = future.result()
-        except Exception as exc:
-            if attempts[index] <= self.retries:
-                return None
-            return CellOutcome(
-                index=index, label=label, ok=False,
-                error=f"{type(exc).__name__}: {exc}",
-                attempts=attempts[index],
-            )
-        return CellOutcome(
-            index=index, label=label, ok=True, result=result,
-            attempts=attempts[index], wall_seconds=wall,
+    # -- shared plumbing -----------------------------------------------
+
+    def _label(self, index: int) -> str:
+        cell = self.cells[index]
+        return getattr(cell, "label", str(cell))
+
+    def _open_journal(self):
+        if self.checkpoint is None:
+            if self.resume:
+                raise ValueError("resume=True requires checkpoint=")
+            return None
+        keys = [cell_key(cell, self.runner) for cell in self.cells]
+        self._keys = keys
+        fingerprint = sweep_fingerprint(keys)
+        if callable(self.checkpoint) and not isinstance(
+                self.checkpoint, (str, bytes)):
+            return self.checkpoint(fingerprint, len(self.cells))
+        return CheckpointJournal(
+            self.checkpoint, fingerprint=fingerprint,
+            total_cells=len(self.cells), resume=self.resume,
         )
 
-    def _report(self, done: int, started: float, outcome: CellOutcome):
+    def _restore_resumed(self, journal, outcomes) -> None:
+        if journal is None or not journal.completed:
+            return
+        started = time.perf_counter()
+        for index in range(len(self.cells)):
+            record = journal.completed.get(self._keys[index])
+            if record is None:
+                continue
+            outcomes[index] = CellOutcome(
+                index=index,
+                label=record["label"],
+                ok=True,
+                result=journal.restore_result(record),
+                attempts=record["attempts"],
+                wall_seconds=record["wall_seconds"],
+                failure_class=record.get("failure_class", ""),
+                resumed=True,
+            )
+            self.resumed_count += 1
+            self._m_resumed.n += 1
+            self._report(outcomes, started, outcomes[index])
+
+    def _journal_success(self, journal, index: int, outcome) -> None:
+        if journal is not None:
+            journal.record(self._keys[index], outcome)
+
+    def _report(self, outcomes, started: float, outcome) -> None:
         if self.progress is None:
             return
+        done = sum(1 for o in outcomes if o is not None)
+        fresh = done - self.resumed_count
         elapsed = time.perf_counter() - started
         remaining = len(self.cells) - done
-        eta = (elapsed / done) * remaining if done else 0.0
+        eta = (elapsed / fresh) * remaining if fresh > 0 else 0.0
         self.progress(SweepProgress(
             done=done,
             total=len(self.cells),
@@ -281,7 +359,329 @@ class SweepEngine:
             eta_seconds=eta,
             label=outcome.label,
             ok=outcome.ok,
+            resumed=outcome.resumed,
         ))
+
+    def _finalize_failure(self, outcomes, journal, started, state,
+                          failure_class: str, error: str) -> None:
+        outcome = CellOutcome(
+            index=state.index,
+            label=self._label(state.index),
+            ok=False,
+            error=error,
+            attempts=state.attempts,
+            failure_class=failure_class,
+            attempt_history=[r.to_dict() for r in state.history],
+        )
+        outcomes[state.index] = outcome
+        self.failures.append(outcome)
+        self._m_failures[failure_class] += 1
+        self._report(outcomes, started, outcome)
+        if (self.max_failures is not None
+                and len(self.failures) >= self.max_failures):
+            raise TooManyFailuresError(self.max_failures, self.failures)
+
+    def _grant_retry(self, state, failure_class: str, error: str) -> float:
+        """Record the failed attempt; return the backoff delay, or a
+        negative value when the cell's class budget is exhausted."""
+        strikes = sum(
+            1 for r in state.history if r.failure_class == failure_class
+        ) + 1
+        record = AttemptRecord(
+            attempt=state.attempts, failure_class=failure_class, error=error,
+        )
+        state.history.append(record)
+        if strikes >= self.policy.max_attempts(failure_class):
+            return -1.0
+        key = (self._keys[state.index] if hasattr(self, "_keys")
+               else f"cell-{state.index}")
+        record.delay_s = self.policy.delay(key, state.attempts)
+        self._m_retries.n += 1
+        return record.delay_s
+
+    # -- serial --------------------------------------------------------
+
+    def _run_serial(self, outcomes, journal, drain) -> None:
+        started = time.perf_counter()
+        for index in range(len(self.cells)):
+            if outcomes[index] is not None:   # resumed
+                continue
+            if drain.requested:
+                return
+            state = CellState(index=index)
+            while True:
+                state.attempts += 1
+                start = time.perf_counter()
+                try:
+                    result = self.runner(self.cells[index])
+                except Exception as exc:   # degrade, don't kill the sweep
+                    failure_class = self.policy.classify(exc)
+                    error = f"{type(exc).__name__}: {exc}"
+                    delay = self._grant_retry(state, failure_class, error)
+                    if delay < 0 or drain.requested:
+                        self._finalize_failure(outcomes, journal, started,
+                                               state, failure_class, error)
+                        break
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                outcome = CellOutcome(
+                    index=index, label=self._label(index), ok=True,
+                    result=result, attempts=state.attempts,
+                    wall_seconds=time.perf_counter() - start,
+                    attempt_history=[r.to_dict() for r in state.history],
+                )
+                outcomes[index] = outcome
+                self._m_completed.n += 1
+                self._journal_success(journal, index, outcome)
+                self._report(outcomes, started, outcome)
+                break
+
+    # -- parallel ------------------------------------------------------
+
+    def _run_parallel(self, outcomes, journal, drain) -> None:
+        started = time.perf_counter()
+        states = {
+            index: CellState(index=index)
+            for index in range(len(self.cells))
+            if outcomes[index] is None
+        }
+        ready = deque(sorted(states))
+        delayed = []                 # (due_time, index), unsorted is fine
+        pending = {}                 # future -> index
+        heartbeat = {}               # future -> started-running time | None
+        future_gen = {}              # future -> pool generation
+        pool_gen = 0
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def submit(index):
+            states[index].attempts += 1
+            future = pool.submit(_timed_call, self.runner, self.cells[index])
+            pending[future] = index
+            heartbeat[future] = None
+            future_gen[future] = pool_gen
+
+        def requeue(index, delay=0.0, now=None):
+            if delay > 0:
+                delayed.append(((now or time.perf_counter()) + delay, index))
+            else:
+                ready.append(index)
+
+        def replace_pool(old_pool):
+            nonlocal pool_gen
+            # ProcessPoolExecutor has no "kill one task", so the
+            # watchdog terminates the whole pool; every in-flight cell
+            # is a pure function, so innocents just rerun.
+            for proc in list(getattr(old_pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+            old_pool.shutdown(wait=False, cancel_futures=True)
+            pool_gen += 1
+            self._m_restarts.n += 1
+            return ProcessPoolExecutor(max_workers=self.jobs)
+
+        def fail_or_retry(index, failure_class, error, now):
+            state = states[index]
+            delay = self._grant_retry(state, failure_class, error)
+            if delay < 0 or drain.requested:
+                self._finalize_failure(outcomes, journal, started, state,
+                                       failure_class, error)
+            else:
+                requeue(index, delay, now)
+
+        try:
+            while pending or ready or delayed:
+                now = time.perf_counter()
+                if drain.requested:
+                    # Stop launching; unfinished cells surface as
+                    # ``interrupted`` outcomes after the drain.
+                    ready.clear()
+                    delayed.clear()
+                else:
+                    due = [i for t, i in delayed if t <= now]
+                    if due:
+                        delayed[:] = [(t, i) for t, i in delayed if t > now]
+                        ready.extend(due)
+                    # Throttle in-flight to the worker count: a queued
+                    # cell holds no worker, so its timeout clock (and
+                    # heartbeat) only starts once it is truly running.
+                    while ready and len(pending) < self.jobs:
+                        submit(ready.popleft())
+                if not pending:
+                    if not ready and delayed:
+                        next_due = min(t for t, _ in delayed)
+                        time.sleep(min(0.25, max(0.0, next_due - now)))
+                    continue
+
+                finished, _ = wait(
+                    pending, timeout=0.25, return_when=FIRST_COMPLETED
+                )
+                now = time.perf_counter()
+                pool_broken = False
+                for future in finished:
+                    index = pending.pop(future)
+                    beat = heartbeat.pop(future)
+                    gen = future_gen.pop(future)
+                    try:
+                        result, wall = future.result()
+                    except CancelledError:
+                        continue   # drained before it started
+                    except BrokenExecutor as exc:
+                        if gen == pool_gen:
+                            pool_broken = True
+                        error = f"{type(exc).__name__}: worker died"
+                        state = states[index]
+                        if beat is None and state.crash_strikes < 1:
+                            # Collateral damage: the pool died before
+                            # this cell was even observed running.
+                            # Requeue once for free; a repeat offender
+                            # is charged as ``crashed``.
+                            state.crash_strikes += 1
+                            requeue(index)
+                        else:
+                            fail_or_retry(index, CRASHED, error, now)
+                        continue
+                    except Exception as exc:
+                        fail_or_retry(
+                            index, self.policy.classify(exc),
+                            f"{type(exc).__name__}: {exc}", now,
+                        )
+                        continue
+                    state = states[index]
+                    outcome = CellOutcome(
+                        index=index, label=self._label(index), ok=True,
+                        result=result, attempts=state.attempts,
+                        wall_seconds=wall,
+                        attempt_history=[r.to_dict() for r in state.history],
+                    )
+                    outcomes[index] = outcome
+                    self._m_completed.n += 1
+                    self._journal_success(journal, index, outcome)
+                    self._report(outcomes, started, outcome)
+                if pool_broken:
+                    # Surviving futures of the broken pool will also
+                    # raise BrokenExecutor; the loop above handles them
+                    # on subsequent ticks against the *new* generation.
+                    pool = replace_pool(pool)
+
+                # Watchdog: start each cell's clock when it is observed
+                # running; kill + replace the pool when one overstays.
+                hung = []
+                for future in pending:
+                    if heartbeat[future] is None and future.running():
+                        heartbeat[future] = now
+                    beat = heartbeat[future]
+                    if (self.timeout is not None and beat is not None
+                            and now - beat > self.timeout):
+                        hung.append(future)
+                if hung:
+                    survivors = [f for f in pending if f not in hung]
+                    for future in hung:
+                        index = pending.pop(future)
+                        heartbeat.pop(future)
+                        future_gen.pop(future)
+                        fail_or_retry(
+                            index, TIMEOUT,
+                            f"timeout after {self.timeout:.1f}s "
+                            f"(attempt {states[index].attempts})", now,
+                        )
+                    for future in survivors:
+                        index = pending.pop(future)
+                        heartbeat.pop(future)
+                        future_gen.pop(future)
+                        requeue(index)   # innocent bystanders: free rerun
+                    pool = replace_pool(pool)
+
+                ages = [now - beat for beat in heartbeat.values()
+                        if beat is not None]
+                self._m_heartbeat.v = round(max(ages), 3) if ages else 0
+        finally:
+            # wait=False so an abandoned (hung but unkillable) worker
+            # can't wedge the sweep's exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._m_heartbeat.v = 0
+
+
+# ----------------------------------------------------------------------
+# sweep/v1 report
+
+
+def _result_dict(result):
+    if result is None:
+        return None
+    if hasattr(result, "to_dict"):
+        return result.to_dict()
+    try:
+        return asdict(result)
+    except TypeError:
+        return result if isinstance(result, (dict, list, int, float, str,
+                                             bool)) else repr(result)
+
+
+def salvage_counts(outcomes) -> dict:
+    """How much of the sweep survived: the ``sweep/v1`` salvage block."""
+    return {
+        "total": len(outcomes),
+        "completed": sum(1 for o in outcomes if o.ok),
+        "resumed": sum(1 for o in outcomes if o.resumed),
+        "failed": sum(1 for o in outcomes
+                      if not o.ok and o.failure_class != "interrupted"),
+        "interrupted": sum(1 for o in outcomes
+                           if o.failure_class == "interrupted"),
+    }
+
+
+def sweep_report(engine: SweepEngine, outcomes, *, kind: str = "sweep",
+                 extra: dict = None) -> dict:
+    """Schema-stamped ``sweep/v1`` payload for a (possibly partial) run.
+
+    ``results`` maps each cell label to its simulator output (or typed
+    failure) and is a pure function of the cell descriptions, so two
+    reports — one uninterrupted, one interrupted-and-resumed — can be
+    diffed for bit-equality on that key alone (``cells`` carries
+    wall-clock timings, which legitimately differ run to run).
+    """
+    labels = {}
+    results = {}
+    for outcome in outcomes:
+        label = outcome.label
+        if label in labels:   # disambiguate duplicate labels by index
+            label = f"{label}#{outcome.index}"
+        labels[label] = outcome
+        if outcome.ok:
+            results[label] = _result_dict(outcome.result)
+        else:
+            results[label] = {
+                "error": outcome.error,
+                "failure_class": outcome.failure_class,
+            }
+    payload = {
+        "schema": SWEEP_SCHEMA,
+        "kind": kind,
+        "telemetry_schema": TELEMETRY_SCHEMA,
+        "interrupted": engine.interrupted,
+        "salvage": salvage_counts(outcomes),
+        "runtime": engine.registry.snapshot(),
+        "cells": [
+            {
+                "index": o.index,
+                "label": o.label,
+                "ok": o.ok,
+                "attempts": o.attempts,
+                "failure_class": o.failure_class,
+                "resumed": o.resumed,
+                "wall_seconds": round(o.wall_seconds, 4),
+                "attempt_history": o.attempt_history,
+            }
+            for o in outcomes
+        ],
+        "results": results,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -314,23 +714,37 @@ def bench_cells(refs: int = 20_000, footprint_mb: int = 8,
 
 def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
               footprint_mb: int = 8, memory_mb: int = 32,
-              progress=None) -> dict:
+              progress=None, checkpoint_dir: str = None) -> dict:
     """Run the pinned sweep serially and at ``jobs`` workers.
 
     Returns the BENCH_perf.json payload: wall-clock and refs/sec per
-    cell, total wall-clock for both runs, the parallel speedup, and a
-    bit-equality verdict between the serial and parallel results.
+    cell, total wall-clock for both runs, the parallel speedup, a
+    bit-equality verdict between the serial and parallel results, and a
+    ``runtime`` block quantifying the resilience layer's overhead
+    (engine wall-clock minus in-cell wall-clock — journal fsyncs and
+    supervision live there).  ``checkpoint_dir`` journals both legs
+    into separate subdirectories so the measured overhead includes
+    checkpointing.
     """
+    import os
+
     cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
                         memory_mb=memory_mb, seed=seed)
+    serial_ckpt = parallel_ckpt = None
+    if checkpoint_dir:
+        serial_ckpt = os.path.join(checkpoint_dir, "serial")
+        parallel_ckpt = os.path.join(checkpoint_dir, "parallel")
 
     serial_start = time.perf_counter()
-    serial = SweepEngine(cells, jobs=1, progress=progress).run()
+    serial_engine = SweepEngine(cells, jobs=1, progress=progress,
+                                checkpoint=serial_ckpt)
+    serial = serial_engine.run()
     serial_wall = time.perf_counter() - serial_start
 
     if jobs > 1:
         parallel_start = time.perf_counter()
-        parallel = SweepEngine(cells, jobs=jobs, progress=progress).run()
+        parallel = SweepEngine(cells, jobs=jobs, progress=progress,
+                               checkpoint=parallel_ckpt).run()
         parallel_wall = time.perf_counter() - parallel_start
     else:
         parallel, parallel_wall = serial, serial_wall
@@ -357,6 +771,8 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
             "write_p95_ns": latency.get("write", {}).get("p95"),
         })
 
+    serial_cell_wall = sum(o.wall_seconds for o in serial if o.ok)
+    overhead = max(0.0, serial_wall - serial_cell_wall)
     return {
         # v2: adds telemetry_schema, per-cell p95 latency, and
         # latency_ns digests inside each result.
@@ -371,6 +787,17 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
         "speedup": round(serial_wall / parallel_wall, 3)
         if parallel_wall else None,
         "identical_outputs": identical,
+        "runtime": {
+            "checkpointed": bool(checkpoint_dir),
+            "serial_cell_wall_s": round(serial_cell_wall, 4),
+            "overhead_s": round(overhead, 4),
+            # The serial-leg budget the resilience layer must fit in
+            # (<2%): engine loop + journal fsyncs + supervision.
+            "overhead_fraction": (
+                round(overhead / serial_wall, 5) if serial_wall else None
+            ),
+            **serial_engine.registry.snapshot(),
+        },
         "results": {
             o.label: asdict(o.result) if o.ok else {"error": o.error}
             for o in parallel
@@ -379,7 +806,5 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
 
 
 def write_bench(payload: dict, path: str = "BENCH_perf.json") -> str:
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    """Durably publish the bench payload (atomic tmp+fsync+rename)."""
+    return atomic_write_json(path, payload)

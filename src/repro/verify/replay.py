@@ -236,9 +236,9 @@ def save_case(path, config: ReplayConfig, ops, note: str = "") -> str:
         "config": asdict(config),
         "ops": list(ops),
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    from repro.runtime import atomic_write_json
+
+    atomic_write_json(path, payload)
     return str(path)
 
 

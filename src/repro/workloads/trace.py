@@ -169,12 +169,14 @@ class Trace:
     # ---- persistence ----
 
     def save(self, path) -> None:
-        with open(path, "w") as handle:
-            handle.write(f"# trace: {self.name}\n")
-            handle.write(f"# references: {len(self.references)}\n")
-            for address, is_write, gap in self.references:
-                kind = "W" if is_write else "R"
-                handle.write(f"{address} {kind} {gap}\n")
+        from repro.runtime import atomic_write_text
+
+        lines = [f"# trace: {self.name}",
+                 f"# references: {len(self.references)}"]
+        for address, is_write, gap in self.references:
+            kind = "W" if is_write else "R"
+            lines.append(f"{address} {kind} {gap}")
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path, name: str = None) -> "Trace":

@@ -31,6 +31,24 @@ class TestParser:
             args = parser.parse_args([cmd])
             assert callable(args.func)
 
+    def test_runtime_flags_parse(self):
+        parser = build_parser()
+        for cmd in ("perf", "reliability", "chaos"):
+            args = parser.parse_args([
+                cmd, "--checkpoint", "ckpt", "--cell-timeout", "30",
+                "--max-failures", "5",
+            ])
+            assert args.checkpoint == "ckpt"
+            assert args.cell_timeout == 30.0
+            assert args.max_failures == 5
+            args = parser.parse_args([cmd, "--resume", "ckpt"])
+            assert args.resume == "ckpt"
+
+    def test_conflicting_checkpoint_dirs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--checkpoint", "a", "--resume", "b",
+                  "--workloads", "gcc"])
+
     def test_figures_command_wiring(self, tmp_path, monkeypatch, capsys):
         """The figures command delegates to repro.figures.run_all with
         the chosen directory and quick/full mode."""
@@ -68,6 +86,45 @@ class TestCommands:
 
     def test_perf_unknown_workload(self, capsys):
         assert main(["perf", "--workloads", "doom"]) == 1
+
+    def test_perf_checkpoint_resume_roundtrip(self, capsys, tmp_path):
+        """A checkpointed perf sweep resumed from its journal emits a
+        sweep/v1 report whose results are bit-identical to a clean run."""
+        import json
+
+        base = ["perf", "--memory-mb", "16", "--footprint-mb", "1",
+                "--refs", "800", "--workloads", "gcc"]
+        ckpt = tmp_path / "ckpt"
+        clean_out = tmp_path / "clean.json"
+        resumed_out = tmp_path / "resumed.json"
+
+        assert main(base + ["--out", str(clean_out)]) == 0
+        assert main(base + ["--checkpoint", str(ckpt)]) == 0
+        assert (ckpt / "journal.jsonl").exists()
+        assert main(base + ["--resume", str(ckpt),
+                            "--out", str(resumed_out)]) == 0
+        capsys.readouterr()
+
+        clean = json.loads(clean_out.read_text())
+        resumed = json.loads(resumed_out.read_text())
+        assert clean["schema"] == resumed["schema"] == "sweep/v1"
+        assert clean["kind"] == "perf"
+        assert resumed["results"] == clean["results"]
+        assert resumed["interrupted"] is False
+        assert resumed["salvage"]["resumed"] == 3    # one per scheme
+        assert resumed["runtime"]["runtime.cells_resumed"] == 3
+
+    def test_reliability_out_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "rel.json"
+        code = main(["reliability", "--size", "1tb", "--fits", "40",
+                     "--trials", "2000", "--out", str(out_path)])
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "sweep/v1"
+        assert report["kind"] == "reliability"
+        assert report["salvage"]["completed"] == 1
 
     def test_reliability(self, capsys):
         code = main([
@@ -109,6 +166,27 @@ class TestCommands:
         report = json.loads(out_path.read_text())
         assert report["invariant_ok"] is True
         assert report["resilience"]["src"]["ge_10x"]
+
+    def test_chaos_checkpoint_resume(self, capsys, tmp_path):
+        import json
+
+        base = ["chaos", "--ops", "150", "--faults", "2",
+                "--schemes", "baseline", "src", "--targets", "counter",
+                "--scrub-intervals", "0"]
+        ckpt = tmp_path / "ckpt"
+        first_out = tmp_path / "first.json"
+        resumed_out = tmp_path / "resumed.json"
+        assert main(base + ["--checkpoint", str(ckpt),
+                            "--out", str(first_out)]) == 0
+        assert main(base + ["--resume", str(ckpt),
+                            "--out", str(resumed_out)]) == 0
+        capsys.readouterr()
+        first = json.loads(first_out.read_text())
+        resumed = json.loads(resumed_out.read_text())
+        assert resumed["runs"] == first["runs"]
+        assert resumed["schemes"] == first["schemes"]
+        assert resumed["salvage"]["resumed"] == 2
+        assert resumed["interrupted"] is False
 
     def test_crash_test_toc(self, capsys):
         code = main([

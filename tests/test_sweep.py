@@ -47,6 +47,20 @@ def _slow(cell):
     return cell
 
 
+def _fail_odd_varied_pace(cell):
+    # Even cells finish fast, odd cells slowly: completions arrive out
+    # of submission order, stressing per-cell attempt bookkeeping.
+    time.sleep(0.02 if cell % 2 == 0 else 0.15)
+    if cell % 2 == 1:
+        raise ValueError(f"cell {cell} is odd")
+    return cell * 10
+
+
+def _sleep_half(cell):
+    time.sleep(0.5)
+    return cell
+
+
 class TestSweepEngine:
     def test_serial_matches_parallel_bit_equal(self):
         """The acceptance criterion: jobs=1 and jobs=N produce
@@ -110,6 +124,47 @@ class TestSweepEngine:
 
     def test_empty_sweep(self):
         assert SweepEngine([], jobs=4).run() == []
+
+    def test_exact_attempts_under_out_of_order_completion(self):
+        """Retry accounting is per-cell even when jobs=N completes
+        cells out of submission order: attempts means runner starts."""
+        engine = SweepEngine(
+            list(range(6)), runner=_fail_odd_varied_pace, jobs=3, retries=1
+        )
+        outcomes = engine.run()
+        assert [o.ok for o in outcomes] == [
+            True, False, True, False, True, False
+        ]
+        assert [o.attempts for o in outcomes] == [1, 2, 1, 2, 1, 2]
+        for outcome in outcomes[1::2]:
+            classes = [h["failure_class"] for h in outcome.attempt_history]
+            assert classes == ["retryable", "retryable"]
+        assert engine.registry.snapshot()["runtime.retries"] == 3
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_progress_done_strictly_increases(self, jobs):
+        """A retried cell reports done exactly once — no double count
+        in the progress stream or the ETA basis."""
+        seen = []
+        SweepEngine(
+            list(range(4)), runner=_fail_odd_varied_pace, jobs=jobs,
+            retries=2, progress=seen.append,
+        ).run()
+        dones = [p.done for p in seen]
+        assert dones == sorted(set(dones)) == [1, 2, 3, 4]
+        assert sorted(p.label for p in seen) == ["0", "1", "2", "3"]
+        assert all(p.total == 4 for p in seen)
+
+    def test_queued_cells_do_not_time_out(self):
+        """The timeout clock starts when a cell is observed running,
+        not when it is queued: 8 half-second cells through 2 workers
+        must all pass with a 1.2s per-cell timeout."""
+        outcomes = SweepEngine(
+            list(range(8)), runner=_sleep_half, jobs=2, timeout=1.2
+        ).run()
+        assert [o.ok for o in outcomes] == [True] * 8
+        assert [o.attempts for o in outcomes] == [1] * 8
+        assert [o.result for o in outcomes] == list(range(8))
 
     def test_validation(self):
         with pytest.raises(ValueError):
