@@ -265,7 +265,83 @@ def cmd_reliability(args) -> int:
     return _finish_sweep(engine, outcomes, args, "reliability", 0)
 
 
+def _print_scenario_catalog() -> None:
+    from repro.faults import list_scenarios
+
+    print(f"{'scenario':<22} {'phases':>6} {'ops':>6}  description")
+    for s in list_scenarios():
+        print(f"{s.name:<22} {len(s.phases):>6} {s.total_ops:>6}  "
+              f"{s.description}")
+        print(f"{'':<22} {'':>6} {'':>6}  models: {s.models}")
+
+
+def _chaos_scenarios(args) -> int:
+    from repro.faults import (
+        ScenarioConfig,
+        SilentCorruptionError,
+        run_scenario_campaign,
+    )
+    from repro.faults.scenarios import report_to_json
+
+    names = tuple(args.scenario)
+    if "all" in names:
+        names = ()
+    config = ScenarioConfig(
+        data_bytes=_parse_size(args.size),
+        seed=args.seed,
+        schemes=tuple(args.schemes),
+        scenarios=names,
+        mode=args.mode,
+        enforce_invariant=not args.no_enforce,
+        trace=args.trace,
+    )
+    runtime = _runtime_kwargs(args)
+    try:
+        report = run_scenario_campaign(
+            config, jobs=args.jobs,
+            checkpoint=runtime["checkpoint"], resume=runtime["resume"],
+            max_failures=runtime["max_failures"],
+            cell_timeout=runtime["timeout"],
+        )
+    except SilentCorruptionError as exc:
+        print(f"INVARIANT VIOLATED: {exc}")
+        return 1
+    except TooManyFailuresError as exc:
+        print(f"ABORTED: {exc}")
+        return EXIT_ABORTED
+
+    print(f"{'scenario':<22} {'runs':>5} {'violations':>11} "
+          f"{'rec.fail':>9} {'quarantined':>12} {'mean UDR':>9}")
+    for name, s in report["scenarios"].items():
+        print(f"{name:<22} {s['runs']:>5} {s['violations']:>11} "
+              f"{s['recovery_failures']:>9} {s['quarantined_nodes']:>12} "
+              f"{s['mean_empirical_udr']:>9.4f}")
+    print(f"no-silent-corruption invariant: "
+          f"{'HELD' if report['invariant_ok'] else 'VIOLATED'}")
+    if args.out:
+        atomic_write_text(args.out, report_to_json(report) + "\n")
+        print(f"wrote {args.out}")
+    if not report["invariant_ok"]:
+        return 1
+    if report["interrupted"]:
+        salvage = report["salvage"]
+        print(f"INTERRUPTED: salvaged {salvage.get('completed', 0)}"
+              f"/{salvage.get('total', 0)} runs"
+              + (f"; resume with --resume {args.resume or args.checkpoint}"
+                 if (args.resume or args.checkpoint) else ""))
+        return EXIT_INTERRUPTED
+    return 0
+
+
 def cmd_chaos(args) -> int:
+    if args.list_scenarios:
+        _print_scenario_catalog()
+        return 0
+    if args.scenario:
+        return _chaos_scenarios(args)
+    if args.trace:
+        raise SystemExit("--trace requires --scenario (external traces "
+                         "drive the scenario engine's workload stream)")
     from repro.faults import (
         CampaignConfig,
         SilentCorruptionError,
@@ -587,6 +663,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report violations instead of raising")
     p.add_argument("--oracle", action="store_true",
                    help="attach the differential oracle to every run")
+    p.add_argument("--scenario", action="append", default=None,
+                   metavar="NAME",
+                   help="run cataloged adversarial scenario(s) instead of "
+                        "the plain campaign (repeatable; 'all' runs the "
+                        "full catalog; scenarios are always "
+                        "oracle-verified)")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print the scenario catalog and exit")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="drive the scenario workload from an external "
+                        "trace file (native, generic R/W+address, or "
+                        "multi-core interleaved formats; auto-detected)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one campaign run per cell")
     _add_runtime_args(p)

@@ -83,6 +83,25 @@ class MetadataScrubber:
         self._ops_since_scrub = 0
         return self.scrub()
 
+    def settle(self) -> int:
+        """Scrub to a verdict: run passes until retry/backoff converges.
+
+        After an injection burst every still-dead node is either
+        repaired or quarantined within a bounded number of passes (the
+        worst-case backoff ladder), so callers can audit knowing no
+        repair attempt is still pending.  Returns the passes run.
+        """
+        limit = self.max_retries * (
+            self.backoff ** self.max_retries
+        ) + self.max_retries + 1
+        passes = 0
+        for _ in range(limit):
+            report = self.scrub()
+            passes += 1
+            if report.scanned == 0 and report.skipped_backoff == 0:
+                break
+        return passes
+
     def scrub(self) -> ScrubReport:
         """Run one full pass over every currently-poisoned address."""
         ctrl = self.controller

@@ -27,8 +27,28 @@ from repro.faults.injector import (
     InjectionEvent,
     region_addresses,
 )
+from repro.faults.scenarios import (
+    CATALOG,
+    SCENARIO_SCHEMA,
+    Phase,
+    Scenario,
+    ScenarioConfig,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    run_scenario_campaign,
+)
 
 __all__ = [
+    "CATALOG",
+    "SCENARIO_SCHEMA",
+    "Phase",
+    "Scenario",
+    "ScenarioConfig",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "run_scenario_campaign",
     "CampaignConfig",
     "CampaignReport",
     "ChipkillCorrect",

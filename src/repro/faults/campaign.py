@@ -43,6 +43,7 @@ from repro.controller import (
 from repro.core import make_controller
 from repro.faults.injector import INJECTION_TARGETS, FaultInjector
 from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
+from repro.verify.audit import audit_mirror
 
 
 class SilentCorruptionError(AssertionError):
@@ -257,13 +258,7 @@ def run_single(
     if scrubber is not None:
         # Let retry/backoff run to a verdict so every still-dead node is
         # either repaired or quarantined before the audit.
-        limit = config.scrub_max_retries * (
-            config.scrub_backoff ** config.scrub_max_retries
-        ) + config.scrub_max_retries + 1
-        for _ in range(limit):
-            report = scrubber.scrub()
-            if report.scanned == 0 and report.skipped_backoff == 0:
-                break
+        scrubber.settle()
 
     recovery = ""
     if target == "shadow":
@@ -283,27 +278,8 @@ def run_single(
             recovery = f"failed:{type(exc).__name__}"
             ctrl = None
 
-    audit = {"intact": 0, "data_due": 0, "quarantined": 0, "unverifiable": 0}
-    if ctrl is None:
-        # Recovery refused to produce a controller: detected, typed, and
-        # total — every byte is unverifiable, none silently wrong.
-        audit["unverifiable"] = len(mirror)
-    else:
-        for block in sorted(mirror):
-            try:
-                got = ctrl.read(block).data
-            except DataPoisonedError:
-                audit["data_due"] += 1
-            except QuarantinedError:
-                audit["quarantined"] += 1
-            except SecureMemoryError:
-                audit["unverifiable"] += 1
-            else:
-                if got == mirror[block]:
-                    audit["intact"] += 1
-                else:
-                    violations.append({"phase": "audit", "op": -1,
-                                       "block": block})
+    audit, audit_violations = audit_mirror(ctrl, mirror)
+    violations.extend(audit_violations)
 
     oracle_summary = None
     if oracle is not None:

@@ -42,14 +42,45 @@ INJECTION_TARGETS = (
 )
 
 
-def region_addresses(controller, target: str, touched_only: bool = True) -> list:
+def _quarantined_address(controller, address: int) -> bool:
+    """True when ``address`` belongs to quarantined coverage.
+
+    Data blocks are checked against the registry's covered ranges;
+    metadata addresses map back to their (level, index) registry key
+    (clone poison charges its primary node, sidecar copies charge the
+    sidecar entry at level 0).  Shadow/MAC regions are never listed.
+    """
+    registry = controller.quarantine
+    if registry is None:
+        return False
+    region = controller.amap.region_of(address)
+    if region[0] == "data":
+        return registry.covers(region[1])
+    if region[0] == "counter":
+        key = (1, region[1])
+    elif region[0] in ("tree", "clone"):
+        key = (region[1], region[2])
+    elif region[0] in ("counter_mac", "counter_mac_clone"):
+        key = (0, region[1])
+    else:
+        return False
+    return key in registry
+
+
+def region_addresses(controller, target: str, touched_only: bool = True,
+                     exclude_quarantined: bool = False) -> list:
     """Block addresses of one layout region, in deterministic order.
 
     With ``touched_only`` (the default) the list is restricted to
     blocks carrying real state, falling back to the full region when
     nothing is touched yet — poisoning a factory-fresh block is a no-op
-    for the controller.  Shared by the injector and by deterministic
-    replay harnesses that need to name a fault site by (region, rank).
+    for the controller.  With ``exclude_quarantined`` addresses inside
+    quarantined coverage are dropped (a DUE there can never reach a
+    reader — every access already fails fast with a typed error — so
+    poisoning it wastes the fault budget); a fully-quarantined region
+    yields an empty list rather than raising.  Shared by the injector
+    and by deterministic replay harnesses that need to name a fault
+    site by (region, rank).
     """
     if target not in INJECTION_TARGETS:
         raise ValueError(
@@ -92,6 +123,10 @@ def region_addresses(controller, target: str, touched_only: bool = True) -> list
     elif target == "shadow":
         addresses = [
             amap.shadow_entry_addr(i) for i in range(amap.shadow_entries)
+        ]
+    if exclude_quarantined:
+        addresses = [
+            a for a in addresses if not _quarantined_address(controller, a)
         ]
     if touched_only:
         nvm = controller.nvm
@@ -140,11 +175,19 @@ class InjectionEvent:
 class FaultInjector:
     """Schedules and fires faults against one live controller.
 
-    ``targets`` cycles per event; ``horizon_ops`` spreads the arrivals
-    uniformly over the campaign's operation budget.  ``touched_only``
-    restricts candidates to blocks that carry real state (poisoning a
-    factory-fresh block is a no-op for the controller, which treats
-    untouched blocks as implicitly-valid zeros).
+    ``targets`` cycles per event (an empty tuple is allowed and simply
+    schedules nothing — scenario engines compute target lists that can
+    legitimately come up empty); ``horizon_ops`` spreads the arrivals
+    uniformly over the campaign's operation budget unless ``arrivals``
+    pins each event to an explicit operation index (fault-rate ramps
+    and correlated bursts need non-uniform schedules).
+    ``touched_only`` restricts candidates to blocks that carry real
+    state (poisoning a factory-fresh block is a no-op for the
+    controller, which treats untouched blocks as implicitly-valid
+    zeros); ``exclude_quarantined`` additionally skips addresses whose
+    coverage is already quarantined — a region that is empty or fully
+    quarantined defers its events and reports a well-formed zero
+    summary instead of raising.
     """
 
     def __init__(
@@ -160,6 +203,8 @@ class FaultInjector:
         touched_only: bool = True,
         scramble: bool = True,
         max_blocks_per_fault: int = 4,
+        arrivals=None,
+        exclude_quarantined: bool = False,
     ):
         if mode not in ("direct", "ecc"):
             raise ValueError(f"mode must be 'direct' or 'ecc', got {mode!r}")
@@ -179,6 +224,7 @@ class FaultInjector:
         self.mode = mode
         self.config = config or FaultSimConfig()
         self.touched_only = touched_only
+        self.exclude_quarantined = exclude_quarantined
         self.scramble = scramble
         self.max_blocks_per_fault = max_blocks_per_fault
         self._rng = np.random.default_rng(seed)
@@ -186,11 +232,22 @@ class FaultInjector:
         self._accumulated_faults: list = []
         self._known_due_blocks: set = set()
 
+        if not self.targets:
+            num_faults = 0   # nowhere to aim: a well-formed empty schedule
         classes = list(self.config.relative_rates)
         weights = np.array([self.config.relative_rates[c] for c in classes])
-        ops = sorted(
-            int(o) for o in self._rng.integers(0, horizon_ops, size=num_faults)
-        )
+        if arrivals is not None and num_faults:
+            ops = sorted(int(o) for o in arrivals)
+            if len(ops) != num_faults:
+                raise ValueError(
+                    f"arrivals must name exactly num_faults={num_faults} "
+                    f"operation indices, got {len(ops)}"
+                )
+        else:
+            ops = sorted(
+                int(o)
+                for o in self._rng.integers(0, horizon_ops, size=num_faults)
+            )
         drawn = self._rng.choice(len(classes), size=num_faults, p=weights)
         self.events = [
             InjectionEvent(
@@ -326,7 +383,8 @@ class FaultInjector:
         guaranteed no-op.
         """
         addresses = region_addresses(
-            self.controller, target, self.touched_only
+            self.controller, target, self.touched_only,
+            exclude_quarantined=self.exclude_quarantined,
         )
         if self.touched_only:
             wpq = self.controller.wpq

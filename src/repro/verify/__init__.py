@@ -157,6 +157,7 @@ def _failure_digest(report: dict) -> str:
     return "; ".join(parts) or "unknown failure"
 
 
+from repro.verify.audit import audit_mirror  # noqa: E402
 from repro.verify.crashpoints import (  # noqa: E402  (needs VerificationError)
     CrashPointConfig,
     CrashPointResult,
@@ -167,6 +168,7 @@ __all__ = [
     "CrashPointConfig",
     "CrashPointResult",
     "InvariantChecker",
+    "audit_mirror",
     "Oracle",
     "VERIFY_SCHEMA",
     "VerificationError",

@@ -1,0 +1,55 @@
+"""Golden-mirror audit: the final word on silent corruption.
+
+Every adversarial harness (fault campaigns, chaos scenarios, crash-point
+replay variants) ends the same way: walk a golden mirror of everything
+the workload wrote and classify each block by what the controller now
+returns for it.  :func:`audit_mirror` is that shared ending, enforcing
+the paper's resilience obligation in one place:
+
+    every byte is either *intact* (bit-exact), lost to a typed,
+    detected error (``data_due`` / ``quarantined`` / ``unverifiable``),
+    or it is a **violation** — wrong bytes returned without an
+    exception — which the callers turn into a hard failure.
+"""
+
+from __future__ import annotations
+
+from repro.controller import (
+    DataPoisonedError,
+    QuarantinedError,
+    SecureMemoryError,
+)
+
+
+def audit_mirror(controller, mirror: dict) -> tuple:
+    """Audit ``controller`` against a golden ``{block: bytes}`` mirror.
+
+    Returns ``(audit, violations)`` where ``audit`` counts blocks as
+    ``intact`` / ``data_due`` / ``quarantined`` / ``unverifiable`` and
+    ``violations`` lists silently-corrupt blocks (empty means the
+    no-silent-corruption invariant held).  ``controller`` may be
+    ``None`` — the recovery-refused case — in which case every mirrored
+    block is *unverifiable*: detected, typed, and total.
+    """
+    audit = {"intact": 0, "data_due": 0, "quarantined": 0,
+             "unverifiable": 0}
+    violations = []
+    if controller is None:
+        audit["unverifiable"] = len(mirror)
+        return audit, violations
+    for block in sorted(mirror):
+        try:
+            got = controller.read(block).data
+        except DataPoisonedError:
+            audit["data_due"] += 1
+        except QuarantinedError:
+            audit["quarantined"] += 1
+        except SecureMemoryError:
+            audit["unverifiable"] += 1
+        else:
+            if got == mirror[block]:
+                audit["intact"] += 1
+            else:
+                violations.append({"phase": "audit", "op": -1,
+                                   "block": block})
+    return audit, violations

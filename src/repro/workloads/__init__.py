@@ -1,7 +1,14 @@
 """Workload generators: uBENCH, WHISPER-like, PMEMKV-like, SPEC-like."""
 
 from repro.workloads.base import Workload, zipf_addresses
-from repro.workloads.trace import Trace, TraceStats, interleave
+from repro.workloads.trace import (
+    TRACE_FORMATS,
+    Trace,
+    TraceStats,
+    interleave,
+    load_external,
+    trace_workload,
+)
 from repro.workloads.pmemkv import pmemkv
 from repro.workloads.spec import gcc, lbm, libquantum, mcf, milc
 from repro.workloads.ubench import ubench
@@ -83,10 +90,13 @@ def make_workload(spec, seed: int = None) -> Workload:
 
 
 __all__ = [
+    "TRACE_FORMATS",
     "Trace",
     "TraceStats",
     "Workload",
     "interleave",
+    "load_external",
+    "trace_workload",
     "ctree",
     "echo",
     "gcc",

@@ -212,3 +212,66 @@ class TestCommands:
         ])
         assert code == 0
         assert "regenerated" in capsys.readouterr().out
+
+
+class TestScenarioCli:
+    def test_list_scenarios(self, capsys):
+        code = main(["chaos", "--list-scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("powercut-storm", "scrub-race", "dimm-offline",
+                     "compound-siege"):
+            assert name in out
+        assert "models:" in out
+
+    def test_scenario_run_writes_schema_valid_report(self, capsys,
+                                                     tmp_path):
+        import json
+
+        out_path = tmp_path / "scenario.json"
+        code = main([
+            "chaos", "--scenario", "scrub-race", "--schemes", "src",
+            "--size", "32kb", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no-silent-corruption invariant: HELD" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "scenario/v1"
+        assert report["invariant_ok"] is True
+        assert report["runs"][0]["scenario"] == "scrub-race"
+
+    def test_scenario_with_trace(self, capsys):
+        code = main([
+            "chaos", "--scenario", "bank-storm", "--schemes", "src",
+            "--size", "32kb", "--trace", "tests/fixtures/interleaved.trace",
+        ])
+        assert code == 0
+        assert "HELD" in capsys.readouterr().out
+
+    def test_trace_without_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="--trace requires"):
+            main(["chaos", "--trace", "tests/fixtures/interleaved.trace"])
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["chaos", "--scenario", "meteor-strike"])
+
+    def test_scenario_checkpoint_resume(self, capsys, tmp_path):
+        import json
+
+        base = ["chaos", "--scenario", "ramp-siege", "--schemes", "src",
+                "--size", "32kb"]
+        clean_out = tmp_path / "clean.json"
+        assert main(base + ["--out", str(clean_out)]) == 0
+        ckpt = tmp_path / "ckpt"
+        first = tmp_path / "first.json"
+        assert main(base + ["--checkpoint", str(ckpt),
+                            "--out", str(first)]) == 0
+        resumed_out = tmp_path / "resumed.json"
+        assert main(base + ["--resume", str(ckpt),
+                            "--out", str(resumed_out)]) == 0
+        clean = json.loads(clean_out.read_text())
+        resumed = json.loads(resumed_out.read_text())
+        assert resumed["runs"] == clean["runs"]
+        assert resumed["scenarios"] == clean["scenarios"]

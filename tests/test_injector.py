@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import make_controller
-from repro.faults import INJECTION_TARGETS, FaultInjector
+from repro.faults import INJECTION_TARGETS, FaultInjector, region_addresses
 
 KB = 1024
 
@@ -118,6 +118,101 @@ class TestDamage:
         assert s["scheduled"] == 3
         assert s["fired"] + s["deferred"] == 3
         assert len(s["events"]) == 3
+
+
+class TestEmptyAndQuarantinedRegions:
+    """Satellite regression: empty / fully-quarantined targets must
+    produce a well-formed zero summary, never raise."""
+
+    def test_empty_targets_tuple_schedules_nothing(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=(), seed=1, num_faults=5,
+                            horizon_ops=100)
+        assert inj.events == []
+        assert inj.drain() == []
+        s = inj.summary()
+        assert s["scheduled"] == 0
+        assert s["fired"] == 0
+        assert s["deferred"] == 0
+        assert s["poisoned_blocks"] == 0
+        assert s["events"] == []
+
+    def test_empty_region_defers_with_zero_summary(self):
+        # baseline has no clone copies: the region is genuinely empty.
+        ctrl = make_ctrl(scheme="baseline")
+        inj = FaultInjector(ctrl, targets=("clone",), seed=2, num_faults=3,
+                            horizon_ops=10)
+        inj.drain()
+        s = inj.summary()
+        assert s["fired"] == 0
+        assert s["deferred"] == 3
+        assert s["poisoned_blocks"] == 0
+
+    def test_fully_quarantined_region_defers_instead_of_raising(self):
+        ctrl = make_ctrl()
+        for index in range(ctrl.amap.level_sizes[0]):
+            ctrl.quarantine_node(1, index, "test exhaustion")
+        inj = FaultInjector(ctrl, targets=("counter",), seed=3,
+                            num_faults=4, horizon_ops=10,
+                            exclude_quarantined=True)
+        inj.drain()
+        s = inj.summary()
+        assert s["fired"] == 0
+        assert s["deferred"] == 4
+        assert s["poisoned_blocks"] == 0
+
+    def test_exclude_quarantined_filters_candidates(self):
+        ctrl = make_ctrl()
+        all_counters = region_addresses(ctrl, "counter")
+        entry = ctrl.quarantine_node(1, 0, "test")
+        assert entry is not None
+        remaining = region_addresses(ctrl, "counter",
+                                     exclude_quarantined=True)
+        assert ctrl.amap.node_addr(1, 0) in all_counters
+        assert ctrl.amap.node_addr(1, 0) not in remaining
+        assert set(remaining) < set(all_counters)
+
+    def test_exclude_quarantined_filters_covered_data_blocks(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 0, "test")
+        covered = ctrl.amap.data_blocks_covered(1, 0)
+        remaining = region_addresses(ctrl, "data",
+                                     exclude_quarantined=True)
+        blocks = {a // 64 for a in remaining}
+        assert not blocks & set(covered)
+
+    def test_default_behavior_unchanged_without_flag(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 0, "test")
+        # Without the opt-in flag the historical candidate list (and
+        # therefore every pinned campaign seed) is untouched.
+        assert ctrl.amap.node_addr(1, 0) in region_addresses(ctrl, "counter")
+
+
+class TestExplicitArrivals:
+    def test_arrivals_pin_the_schedule(self):
+        ctrl = make_ctrl()
+        inj = FaultInjector(ctrl, targets=("counter",), seed=4,
+                            num_faults=3, horizon_ops=1000,
+                            arrivals=(500, 10, 200))
+        assert [e.op for e in inj.events] == [10, 200, 500]
+
+    def test_arrivals_length_must_match(self):
+        ctrl = make_ctrl()
+        with pytest.raises(ValueError, match="arrivals"):
+            FaultInjector(ctrl, targets=("counter",), num_faults=3,
+                          arrivals=(1, 2))
+
+    def test_same_arrivals_same_damage(self):
+        def run():
+            ctrl = make_ctrl(seed=11)
+            inj = FaultInjector(ctrl, targets=("counter",), seed=9,
+                                num_faults=4, horizon_ops=100,
+                                arrivals=(0, 0, 50, 99))
+            inj.drain()
+            return inj.summary()
+
+        assert run() == run()
 
 
 class TestDeterminism:

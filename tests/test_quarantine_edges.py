@@ -1,0 +1,135 @@
+"""Quarantine-registry edge cases under compound scenarios:
+re-quarantine idempotency, quarantine across and during recovery, and
+exhaustion degrading gracefully instead of crashing."""
+
+import numpy as np
+import pytest
+
+from repro.controller import MetadataScrubber, QuarantinedError
+from repro.core import make_controller
+from repro.faults import FaultInjector, region_addresses
+from repro.recovery import RecoveryManager
+
+KB = 1024
+
+
+def make_ctrl(scheme="src", seed=7, data_bytes=64 * KB):
+    ctrl = make_controller(
+        scheme, data_bytes, functional_crypto=True, quarantine=True,
+        rng=np.random.default_rng(seed),
+    )
+    for block in range(ctrl.num_data_blocks):
+        ctrl.write(block, bytes([block % 251]) * 64)
+    ctrl.flush()
+    return ctrl
+
+
+class TestRequarantine:
+    def test_requarantine_is_idempotent(self):
+        ctrl = make_ctrl()
+        first = ctrl.quarantine_node(1, 3, "first strike")
+        again = ctrl.quarantine_node(1, 3, "second strike")
+        assert first is not None
+        assert again is None
+        assert ctrl.stats.quarantined_nodes == 1
+        assert len(ctrl.quarantine) == 1
+        # The original entry (and its reason) survives the re-strike.
+        assert ctrl.quarantine.entries[0].reason == "first strike"
+
+    def test_requarantine_does_not_double_count_bytes(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 0, "x")
+        once = ctrl.stats.quarantined_bytes
+        ctrl.quarantine_node(1, 0, "x")
+        assert ctrl.stats.quarantined_bytes == once
+
+    def test_nested_ranges_count_overlap_once(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 0, "counter")      # nested inside...
+        ctrl.quarantine_node(2, 0, "its parent")   # ...the tree node
+        covered = ctrl.amap.data_blocks_covered(2, 0)
+        assert ctrl.quarantine.quarantined_data_bytes == len(covered) * 64
+
+    def test_scrubber_requarantine_stays_consistent(self):
+        # The scrubber quarantining a node the controller already
+        # quarantined on a demand access must not double-book.
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 2, "demand access")
+        scrubber = MetadataScrubber(ctrl, interval=1, max_retries=1)
+        ctrl.nvm.poison_block(ctrl.amap.node_addr(1, 2))
+        scrubber.settle()
+        assert ctrl.stats.quarantined_nodes == 1
+
+
+class TestQuarantineAcrossRecovery:
+    def test_quarantine_entries_do_not_survive_a_crash(self):
+        # Volatile registry, persistent damage: the crash drops the
+        # entries; recovery rediscovers what is actually dead.
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 1, "pre-crash")
+        assert len(ctrl.quarantine) == 1
+        recovered, _ = RecoveryManager(ctrl.crash()).recover()
+        assert recovered.quarantine is not None
+        assert len(recovered.quarantine) == 0
+
+    def test_quarantine_during_recovery_window(self):
+        # A node can be quarantined on the recovered controller before
+        # any workload access — the "during recovery" RAS window.
+        ctrl = make_ctrl()
+        recovered, _ = RecoveryManager(ctrl.crash()).recover()
+        entry = recovered.quarantine_node(1, 0, "post-recovery triage")
+        assert entry is not None
+        blocks = recovered.amap.data_blocks_covered(1, 0)
+        with pytest.raises(QuarantinedError):
+            recovered.read(blocks.start)
+        # Uncovered blocks still serve reads.
+        outside = blocks.stop % recovered.num_data_blocks
+        if not recovered.quarantine.covers(outside):
+            assert recovered.read(outside).data == bytes([outside % 251]) * 64
+
+    def test_quarantined_then_recovered_then_requarantined(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 4, "first life")
+        recovered, _ = RecoveryManager(ctrl.crash()).recover()
+        entry = recovered.quarantine_node(1, 4, "second life")
+        assert entry is not None          # registry was reset, not stale
+        assert recovered.stats.quarantined_nodes == 1
+
+
+class TestExhaustion:
+    """Quarantine exhaustion must degrade gracefully: typed errors and
+    deferred faults, never a harness crash."""
+
+    def test_every_counter_quarantined_still_serves_typed_errors(self):
+        ctrl = make_ctrl()
+        for index in range(ctrl.amap.level_sizes[0]):
+            ctrl.quarantine_node(1, index, "exhaustion")
+        assert len(ctrl.quarantine) == ctrl.amap.level_sizes[0]
+        for block in range(0, ctrl.num_data_blocks,
+                           max(1, ctrl.num_data_blocks // 8)):
+            with pytest.raises(QuarantinedError):
+                ctrl.read(block)
+        assert ctrl.stats.quarantined_accesses > 0
+
+    def test_injector_defers_into_exhausted_region(self):
+        ctrl = make_ctrl()
+        for index in range(ctrl.amap.level_sizes[0]):
+            ctrl.quarantine_node(1, index, "exhaustion")
+        assert region_addresses(ctrl, "counter",
+                                exclude_quarantined=True) == []
+        injector = FaultInjector(
+            ctrl, targets=("counter",), seed=3, num_faults=5,
+            horizon_ops=10, exclude_quarantined=True,
+        )
+        injector.drain()
+        summary = injector.summary()
+        assert summary["fired"] == 0
+        assert summary["deferred"] == 5
+        assert summary["poisoned_blocks"] == 0
+
+    def test_writes_to_quarantined_coverage_raise_typed(self):
+        ctrl = make_ctrl()
+        ctrl.quarantine_node(1, 0, "exhaustion")
+        block = ctrl.amap.data_blocks_covered(1, 0).start
+        with pytest.raises(QuarantinedError):
+            ctrl.write(block, bytes(64))

@@ -118,3 +118,99 @@ class TestInterleave:
         result = system.run(mix.as_workload(footprint_bytes=1 << 18))
         assert result.memory_requests == 600
         assert result.workload == "ubench+ycsb"
+
+
+class TestLoadExternal:
+    """External/recorded trace ingestion: native, generic, and
+    multi-core interleaved captures through one frontend."""
+
+    FIXTURE = "tests/fixtures/interleaved.trace"
+
+    def test_native_format_roundtrips(self, small_trace, tmp_path):
+        from repro.workloads import load_external
+
+        path = tmp_path / "native.trace"
+        small_trace.save(path)
+        loaded = load_external(path)
+        assert loaded.references == small_trace.references
+
+    def test_generic_two_field_lines(self, tmp_path):
+        from repro.workloads import load_external
+
+        path = tmp_path / "generic.trace"
+        path.write_text(
+            "// recorded capture\n"
+            "R 0x1000\n"
+            "W 0x1040\n"
+            "0x1080 W\n"
+            "write 4096\n"
+            "read, 0x1000\n"
+        )
+        trace = load_external(path)
+        assert trace.references == [
+            (0x1000, False, 0), (0x1040, True, 0), (0x1080, True, 0),
+            (4096, True, 0), (0x1000, False, 0),
+        ]
+
+    def test_multicore_fixture_demuxes_round_robin(self):
+        from repro.workloads import load_external
+
+        trace = load_external(self.FIXTURE)
+        assert trace.name == "interleaved-sample"
+        assert len(trace) == 20
+        # Round-robin: core 0 and core 1 references alternate.
+        cores = [0 if a < 0x4000 else 1 for a, _, _ in trace.references]
+        assert cores == [0, 1] * 10
+
+    def test_multicore_chunked(self):
+        from repro.workloads import load_external
+
+        trace = load_external(self.FIXTURE, chunk=2)
+        cores = [0 if a < 0x4000 else 1 for a, _, _ in trace.references]
+        assert cores[:8] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_explicit_multicore_decimal_addresses(self, tmp_path):
+        from repro.workloads import load_external
+
+        path = tmp_path / "decimal.trace"
+        path.write_text("0 R 64\n1 W 128\n0 W 192\n1 R 256\n")
+        trace = load_external(path, fmt="multicore")
+        assert trace.references == [
+            (64, False, 0), (128, True, 0), (192, True, 0), (256, False, 0),
+        ]
+        # The same lines parse as native (addr R/W gap) by default.
+        native = load_external(path)
+        assert native.references[0] == (0, False, 64)
+
+    def test_malformed_lines_rejected(self, tmp_path):
+        from repro.workloads import load_external
+
+        for bad in ("X 0x1000\n", "R W 0x10\n", "0x10 R extra 0x20 4\n",
+                    "R nonsense\n"):
+            path = tmp_path / "bad.trace"
+            path.write_text(bad)
+            with pytest.raises(ValueError):
+                load_external(path)
+        path.write_text("# only comments\n")
+        with pytest.raises(ValueError, match="no references"):
+            load_external(path)
+        with pytest.raises(ValueError, match="unknown trace format"):
+            load_external(path, fmt="exotic")
+
+    def test_trace_workload_runs_in_simulator(self):
+        from repro.workloads import trace_workload
+
+        workload = trace_workload(self.FIXTURE)
+        system = SecureSystem("src", config=SystemConfig.scaled(16))
+        result = system.run(workload)
+        assert result.memory_requests == 20
+        assert result.workload == "interleaved-sample"
+
+    def test_trace_workload_spec_is_picklable(self):
+        import pickle
+
+        from repro.workloads import make_workload
+
+        spec = ("trace_workload", (self.FIXTURE,), {"chunk": 2})
+        workload = make_workload(pickle.loads(pickle.dumps(spec)))
+        assert workload.num_refs == 20
