@@ -15,7 +15,7 @@ from repro.constants import CACHELINE_BYTES
 from repro.telemetry import CounterMetric
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line: its payload and dirty state."""
 
@@ -24,7 +24,7 @@ class CacheLine:
     dirty: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """A victim pushed out of the cache."""
 
@@ -235,6 +235,53 @@ class SetAssociativeCache:
                 )
             lines.clear()
         return evictions
+
+    # ---- batched-engine state interchange ----
+
+    def export_sets(self) -> list:
+        """Tag-only residency state as one ``{tag: dirty}`` dict per set.
+
+        Dict order is LRU order (oldest first), exactly the OrderedDict
+        order the scalar path maintains, so a batched engine operating
+        on the exported dicts picks identical LRU victims.  Only valid
+        for tag-only caches (the CPU hierarchy): a resident payload
+        means the caller would silently lose functional state, so that
+        is an error.
+        """
+        out = []
+        for lines in self._sets:
+            for line in lines.values():
+                if line.payload is not None:
+                    raise ValueError(
+                        f"{self.name}: export_sets is tag-only, but a "
+                        "resident line carries a payload"
+                    )
+            out.append(
+                {tag: 1 if line.dirty else 0 for tag, line in lines.items()}
+            )
+        return out
+
+    def import_sets(self, sets) -> None:
+        """Adopt residency/dirty state in :meth:`export_sets` form.
+
+        The inverse interchange: each ``{tag: dirty}`` dict (in LRU
+        order, oldest first) becomes this cache's set content, so a
+        batched engine can hand its final state back and leave the
+        cache bit-equivalent to one driven through :meth:`access`.
+        """
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: expected {self.num_sets} sets, got {len(sets)}"
+            )
+        rebuilt = []
+        for lines in sets:
+            if len(lines) > self.ways:
+                raise ValueError(f"{self.name}: set over associativity")
+            rebuilt.append(OrderedDict(
+                (tag, CacheLine(tag, None, bool(dirty)))
+                for tag, dirty in lines.items()
+            ))
+        self._sets = rebuilt
 
     def resident_addresses(self):
         out = []

@@ -5,8 +5,10 @@ The main entry points:
 * ``info``        — metadata layout and overheads for a memory size;
 * ``perf``        — run workloads through the timing simulator and
   compare schemes (Figure 10 style);
-* ``bench``       — pinned performance sweep; emits ``BENCH_perf.json``
-  (the repo's perf trajectory);
+* ``bench``       — pinned performance sweep with a scalar-engine A/B
+  leg; emits ``BENCH_perf.json`` (the repo's perf trajectory);
+* ``engine-diff`` — differential scalar-vs-vector engine equivalence
+  suite (corpus + pinned sweeps + chaos fault injection);
 * ``reliability`` — fault simulation + UDR across FIT rates
   (Figure 11/12 style);
 * ``crash-test``  — functional crash/recovery exercise with optional
@@ -157,7 +159,8 @@ def cmd_perf(args) -> int:
             return 1
     schemes = ("baseline", "src", "sac")
     cells = [
-        SimCell(workload=spec, scheme=scheme, config=config, seed=args.seed)
+        SimCell(workload=spec, scheme=scheme, config=config, seed=args.seed,
+                engine=args.engine or "")
         for _, spec in named
         for scheme in schemes
     ]
@@ -206,9 +209,12 @@ def cmd_bench(args) -> int:
     if not args.quiet:
         def progress(p):
             status = "ok" if p.ok else "FAIL"
+            # ETA is None until the first fresh (non-resumed) cell
+            # completes — unknown rate, not zero.
+            eta = ("    ?" if p.eta_seconds is None
+                   else f"{p.eta_seconds:5.1f}s")
             print(f"  [{p.done:>2}/{p.total}] {p.label:<16} {status} "
-                  f"(elapsed {p.elapsed_seconds:5.1f}s, "
-                  f"eta {p.eta_seconds:5.1f}s)")
+                  f"(elapsed {p.elapsed_seconds:5.1f}s, eta {eta})")
     payload = run_bench(
         refs=args.refs,
         jobs=args.jobs,
@@ -219,14 +225,28 @@ def cmd_bench(args) -> int:
         checkpoint_dir=args.checkpoint,
     )
     path = write_bench(payload, args.out)
+    print(f"{'cell':<16} {'refs/s':>10} {'scalar r/s':>11} {'speedup':>8}")
+    for row in payload["cells"]:
+        speedup = row["engine_speedup"]
+        if speedup:
+            print(f"{row['label']:<16} {row['refs_per_s']:>10.0f} "
+                  f"{row['scalar_refs_per_s']:>11.0f} {speedup:>7.2f}x")
+        else:
+            print(f"{row['label']:<16} {'FAILED':>10}")
     print(f"serial wall   {payload['serial_wall_s']:8.2f}s")
     print(f"parallel wall {payload['parallel_wall_s']:8.2f}s "
           f"({args.jobs} jobs)")
-    print(f"speedup       {payload['speedup']:8.2f}x")
+    print(f"scalar wall   {payload['scalar_wall_s']:8.2f}s")
+    print(f"speedup       {payload['speedup']:8.2f}x (jobs)")
+    print(f"engine        {payload['engine_speedup']:8.2f}x "
+          "(vector vs scalar, whole grid)")
     print(f"identical outputs (jobs=1 vs jobs={args.jobs}): "
           f"{'yes' if payload['identical_outputs'] else 'NO'}")
+    print(f"identical engines (vector vs scalar): "
+          f"{'yes' if payload['engines_identical'] else 'NO'}")
     print(f"wrote {path}")
-    return 0 if payload["identical_outputs"] else 1
+    ok = payload["identical_outputs"] and payload["engines_identical"]
+    return 0 if ok else 1
 
 
 def cmd_reliability(args) -> int:
@@ -496,6 +516,32 @@ def cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_engine_diff(args) -> int:
+    """Differential scalar-vs-vector engine equivalence suite."""
+    from repro.verify.engine_diff import run_engine_diff
+
+    def progress(row):
+        status = "ok" if row["identical"] else "MISMATCH"
+        detail = (
+            f"  differs in: {', '.join(row['mismatched'])}"
+            if row["mismatched"] else ""
+        )
+        error = f"  (both raised: {row['error']})" if row["error"] else ""
+        print(f"  {row['name']:<40} {status}{detail}{error}")
+
+    report = run_engine_diff(
+        corpus_dir=args.corpus, refs=args.refs, quick=args.quick,
+        progress=progress,
+    )
+    if args.out:
+        atomic_write_json(args.out, report)
+        print(f"wrote {args.out}")
+    verdict = "BIT-IDENTICAL" if report["identical"] else "DIVERGED"
+    print(f"engines {verdict} across {report['total']} cases "
+          "(corpus + pinned sweeps + chaos)")
+    return 0 if report["identical"] else 1
+
+
 def cmd_figures(args) -> int:
     from repro.figures import run_all
 
@@ -597,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (output identical to --jobs 1)")
     p.add_argument("--seed", type=int, default=0,
                    help="per-cell base seed (same seed -> same table)")
+    p.add_argument("--engine", default=None,
+                   choices=["vector", "scalar"],
+                   help="simulation engine (default: REPRO_SIM_ENGINE "
+                        "env override, then the vectorized engine; the "
+                        "two are bit-identical)")
     p.add_argument("--out", default=None,
                    help="write the sweep/v1 JSON report here")
     _add_runtime_args(p)
@@ -604,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="pinned 4-workload x 3-scheme sweep; emits BENCH_perf.json",
+        help="pinned 5-workload x 3-scheme sweep with a scalar-engine "
+             "A/B leg; emits BENCH_perf.json",
     )
     p.add_argument("--refs", type=int, default=20_000)
     p.add_argument("--jobs", type=int, default=2,
@@ -701,6 +753,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="write the JSON verify/v1 report here")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "engine-diff",
+        help="prove scalar-vs-vector engine bit-equality (corpus + "
+             "pinned sweeps + chaos fault injection)",
+    )
+    p.add_argument("--corpus", default="tests/corpus",
+                   help="fuzz-corpus directory (default: tests/corpus)")
+    p.add_argument("--refs", type=int, default=4000,
+                   help="references per sweep/chaos case")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized subset of the sweep grid")
+    p.add_argument("--out", default=None,
+                   help="write the engine_diff/v1 JSON report here")
+    p.set_defaults(func=cmd_engine_diff)
 
     p = sub.add_parser(
         "metrics",

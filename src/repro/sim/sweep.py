@@ -31,10 +31,11 @@ bit-identical results.  On top of that, the engine is built on
   :class:`~repro.runtime.TooManyFailuresError` after N terminal cell
   failures instead of grinding through a doomed matrix.
 
-``run_bench`` runs the pinned benchmark sweep (4 workloads x 3 schemes)
-serially and in parallel, verifies bit-equality, and emits
-``BENCH_perf.json`` (via the crash-safe atomic writer) so the repo
-accumulates a perf trajectory.
+``run_bench`` runs the pinned benchmark sweep (5 workloads x 3 schemes)
+serially, in parallel, and once more under the scalar engine (the
+vector-vs-scalar A/B leg), verifies bit-equality across all legs, and
+emits ``BENCH_perf.json`` (via the crash-safe atomic writer) so the
+repo accumulates a perf trajectory.
 """
 
 from __future__ import annotations
@@ -64,6 +65,7 @@ from repro.runtime import (
 )
 from repro.runtime.supervision import CRASHED, TIMEOUT, CellState
 from repro.sim.config import SystemConfig
+from repro.sim.engine import default_engine
 from repro.sim.system import SecureSystem, _workload_seed
 from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
 from repro.telemetry import MetricRegistry
@@ -91,6 +93,12 @@ class SimCell:
     #: so verified sweeps keep the jobs=1 == jobs=N bit-equality
     #: contract — including the embedded ``verify`` report.
     verify: bool = False
+    #: Simulation engine ("vector"/"scalar"); "" means the session
+    #: default (:func:`repro.sim.engine.default_engine`).  Part of the
+    #: cell description — and of ``cell_key`` — because the engine a
+    #: cell ran under is provenance, even though the two engines are
+    #: differentially proven bit-identical.
+    engine: str = ""
 
     @property
     def label(self) -> str:
@@ -129,6 +137,9 @@ class SweepProgress:
     done: int
     total: int
     elapsed_seconds: float
+    #: Seconds left at the mean observed fresh-cell rate, or ``None``
+    #: when no fresh cell has completed yet (every done cell was
+    #: restored from a checkpoint) and work remains — unknown, not 0.
     eta_seconds: float
     label: str
     ok: bool
@@ -150,7 +161,7 @@ def run_sim_cell(cell: SimCell):
         rng=np.random.default_rng(cell.seed),
     )
     return system.run(workload, warmup_refs=cell.warmup_refs,
-                      verify=cell.verify)
+                      verify=cell.verify, engine=cell.engine or None)
 
 
 def _timed_call(runner, cell):
@@ -351,7 +362,15 @@ class SweepEngine:
         fresh = done - self.resumed_count
         elapsed = time.perf_counter() - started
         remaining = len(self.cells) - done
-        eta = (elapsed / fresh) * remaining if fresh > 0 else 0.0
+        if fresh > 0:
+            eta = (elapsed / fresh) * remaining
+        elif remaining == 0:
+            eta = 0.0
+        else:
+            # No fresh completions yet (e.g. every done cell was
+            # restored from the checkpoint): there is no observed rate,
+            # so the ETA is unknown — not zero.
+            eta = None
         self.progress(SweepProgress(
             done=done,
             total=len(self.cells),
@@ -688,15 +707,26 @@ def sweep_report(engine: SweepEngine, outcomes, *, kind: str = "sweep",
 # pinned benchmark sweep
 
 
-#: The standard bench grid: 4 workloads x 3 schemes.  Pinned so the
-#: BENCH_perf.json trajectory stays comparable across PRs.
-BENCH_WORKLOADS = ("ctree", "hashmap", "ubench", "mcf")
+#: The standard bench grid: 5 workloads x 3 schemes.  Pinned so the
+#: BENCH_perf.json trajectory stays comparable across PRs.  ``gcc`` is
+#: the cache-resident (CPU-bound) cell: its Zipf working set fits the
+#: hierarchy, so it measures the reference hot path rather than the
+#: secure controller — the cell where the vectorized engine shows its
+#: full speedup.
+BENCH_WORKLOADS = ("ctree", "hashmap", "ubench", "mcf", "gcc")
 BENCH_SCHEMES = ("baseline", "src", "sac")
+
+#: The gcc cell's pinned shape: a 512 KiB footprint keeps its working
+#: set (footprint/16) L1-sized, and 5x the grid refs amortizes per-run
+#: setup so the cell measures steady-state refs/s.
+BENCH_GCC_FOOTPRINT_BYTES = 512 << 10
+BENCH_GCC_REFS_FACTOR = 5
 
 
 def bench_cells(refs: int = 20_000, footprint_mb: int = 8,
-                memory_mb: int = 32, seed: int = 2021) -> list:
-    """The pinned 4-workload x 3-scheme benchmark grid."""
+                memory_mb: int = 32, seed: int = 2021,
+                engine: str = "") -> list:
+    """The pinned 5-workload x 3-scheme benchmark grid."""
     config = SystemConfig.scaled(memory_mb=memory_mb)
     kwargs = {"footprint_bytes": footprint_mb << 20, "num_refs": refs}
     specs = [
@@ -704,9 +734,14 @@ def bench_cells(refs: int = 20_000, footprint_mb: int = 8,
         ("hashmap", (), dict(kwargs)),
         ("ubench", (128,), dict(kwargs)),
         ("mcf", (), dict(kwargs)),
+        ("gcc", (), {
+            "footprint_bytes": BENCH_GCC_FOOTPRINT_BYTES,
+            "num_refs": refs * BENCH_GCC_REFS_FACTOR,
+        }),
     ]
     return [
-        SimCell(workload=spec, scheme=scheme, config=config, seed=seed)
+        SimCell(workload=spec, scheme=scheme, config=config, seed=seed,
+                engine=engine)
         for spec in specs
         for scheme in BENCH_SCHEMES
     ]
@@ -725,11 +760,21 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
     supervision live there).  ``checkpoint_dir`` journals both legs
     into separate subdirectories so the measured overhead includes
     checkpointing.
+
+    A third, serial *scalar* leg reruns the grid with
+    ``engine="scalar"``: every cell row reports the scalar engine's
+    refs/s next to the default (vectorized) engine's, plus their ratio
+    (``engine_speedup``), and ``engines_identical`` asserts the two
+    legs' ``SimResult``s are bit-equal — the bench doubles as a live
+    differential check.
     """
     import os
 
     cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
                         memory_mb=memory_mb, seed=seed)
+    scalar_cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
+                               memory_mb=memory_mb, seed=seed,
+                               engine="scalar")
     serial_ckpt = parallel_ckpt = None
     if checkpoint_dir:
         serial_ckpt = os.path.join(checkpoint_dir, "serial")
@@ -749,23 +794,45 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
     else:
         parallel, parallel_wall = serial, serial_wall
 
+    # Scalar comparison leg: same grid, scalar engine, serial, no
+    # checkpointing — pure engine A/B.
+    scalar_start = time.perf_counter()
+    scalar = SweepEngine(scalar_cells, jobs=1, progress=progress).run()
+    scalar_wall = time.perf_counter() - scalar_start
+
     identical = all(
         s.ok and p.ok and asdict(s.result) == asdict(p.result)
         for s, p in zip(serial, parallel)
     )
+    engines_identical = all(
+        s.ok and c.ok and asdict(s.result) == asdict(c.result)
+        for s, c in zip(serial, scalar)
+    )
 
     cell_rows = []
-    for cell, s, p in zip(cells, serial, parallel):
+    for cell, s, p, c in zip(cells, serial, parallel, scalar):
         latency = s.result.latency_ns if s.ok else {}
+        cell_refs = cell.workload[2].get("num_refs", refs)
+        refs_per_s = (
+            round(cell_refs / s.wall_seconds, 1) if s.wall_seconds else None
+        )
+        scalar_refs_per_s = (
+            round(cell_refs / c.wall_seconds, 1) if c.wall_seconds else None
+        )
         cell_rows.append({
             "label": s.label,
             "workload": cell.workload[0],
             "scheme": cell.scheme,
-            "ok": s.ok and p.ok,
+            "ok": s.ok and p.ok and c.ok,
+            "refs": cell_refs,
             "serial_wall_s": round(s.wall_seconds, 4),
             "parallel_wall_s": round(p.wall_seconds, 4),
-            "refs_per_s": (
-                round(refs / s.wall_seconds, 1) if s.wall_seconds else None
+            "scalar_wall_s": round(c.wall_seconds, 4),
+            "refs_per_s": refs_per_s,
+            "scalar_refs_per_s": scalar_refs_per_s,
+            "engine_speedup": (
+                round(refs_per_s / scalar_refs_per_s, 2)
+                if refs_per_s and scalar_refs_per_s else None
             ),
             "read_p95_ns": latency.get("read", {}).get("p95"),
             "write_p95_ns": latency.get("write", {}).get("p95"),
@@ -774,9 +841,11 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
     serial_cell_wall = sum(o.wall_seconds for o in serial if o.ok)
     overhead = max(0.0, serial_wall - serial_cell_wall)
     return {
-        # v2: adds telemetry_schema, per-cell p95 latency, and
-        # latency_ns digests inside each result.
-        "schema": "bench_perf/v2",
+        # v3: adds the gcc cache-resident cell (15 cells), the scalar
+        # comparison leg (per-cell scalar_refs_per_s / engine_speedup,
+        # engines_identical verdict), and per-cell refs.
+        "schema": "bench_perf/v3",
+        "engine": default_engine(),
         "telemetry_schema": TELEMETRY_SCHEMA,
         "refs": refs,
         "jobs": jobs,
@@ -784,9 +853,13 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
         "cells": cell_rows,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
+        "scalar_wall_s": round(scalar_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3)
         if parallel_wall else None,
+        "engine_speedup": round(scalar_wall / serial_wall, 3)
+        if serial_wall else None,
         "identical_outputs": identical,
+        "engines_identical": engines_identical,
         "runtime": {
             "checkpointed": bool(checkpoint_dir),
             "serial_cell_wall_s": round(serial_cell_wall, 4),

@@ -180,10 +180,18 @@ class HistogramMetric:
     catches everything above the last edge.  Percentiles interpolate
     linearly inside the winning bucket, so they are a pure function of
     the bucket counts — identical across jobs=1 and jobs=N runs.
+
+    Edge semantics (pinned): a value exactly on a bucket edge counts in
+    the bucket whose *upper* edge it is (``bisect_left``), i.e. bucket
+    ``i`` covers ``(edges[i-1], edges[i]]``.  The vectorized batch path
+    (:meth:`observe_batch`, ``numpy.searchsorted(side="left")``) must
+    agree with this bit-for-bit — regression-tested in
+    ``tests/test_telemetry.py``.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "edges", "counts", "count", "total")
+    __slots__ = ("name", "help", "edges", "counts", "count", "total",
+                 "_edges_array")
 
     def __init__(self, name: str, buckets, help: str = ""):
         edges = tuple(sorted(buckets))
@@ -197,18 +205,61 @@ class HistogramMetric:
         self.counts = [0] * (len(edges) + 1)
         self.count = 0
         self.total = 0.0
+        self._edges_array = None   # lazy numpy mirror for observe_batch
 
     def observe(self, value) -> None:
         self.counts[bisect_left(self.edges, value)] += 1
         self.count += 1
         self.total += value
 
+    def observe_batch(self, values) -> None:
+        """Observe a whole batch at once, bit-identical to calling
+        :meth:`observe` on each value in order.
+
+        Bucketing uses ``numpy.searchsorted(side="left")`` (the exact
+        vector analogue of ``bisect_left``); ``total`` accumulates with
+        a sequential left-to-right loop so float rounding matches the
+        per-value path exactly (``sum()`` or ``numpy.sum`` would
+        associate differently).
+        """
+        if not values:
+            return
+        import numpy as np
+
+        if self._edges_array is None:
+            self._edges_array = np.asarray(self.edges, dtype=np.float64)
+        indices = np.searchsorted(self._edges_array, values, side="left")
+        bincount = np.bincount(indices, minlength=len(self.counts))
+        counts = self.counts
+        for index, n in enumerate(bincount):
+            if n:
+                counts[index] += int(n)
+        self.count += len(values)
+        total = self.total
+        for value in values:
+            total += value
+        self.total = total
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the last finite edge (the implicit
+        overflow bucket).  A percentile that lands here is *truncated*
+        at the last edge — consumers must read this count alongside the
+        percentiles to know when the tail has been cut off."""
+        return self.counts[-1]
+
     def percentile(self, q: float) -> float:
-        """Estimated q-quantile (q in [0, 1]) from the bucket counts."""
+        """Estimated q-quantile (q in [0, 1]) from the bucket counts.
+
+        A quantile falling in the overflow bucket has no finite upper
+        edge to interpolate toward, so the last finite edge is returned
+        as an honest lower bound; ``summary()['overflow']`` carries the
+        count that tells consumers the estimate is truncated.
+        """
         if not 0 <= q <= 1:
             raise ValueError("q must be in [0, 1]")
         if self.count == 0:
@@ -219,25 +270,32 @@ class HistogramMetric:
             if bucket_count == 0:
                 continue
             if cumulative + bucket_count >= rank:
+                if index == len(self.edges):
+                    # Overflow bucket: truncated at the last finite
+                    # edge (see docstring; overflow count reported in
+                    # summary()).
+                    return float(self.edges[-1])
                 lower = self.edges[index - 1] if index > 0 else 0.0
-                upper = (
-                    self.edges[index]
-                    if index < len(self.edges)
-                    else self.edges[-1]  # overflow clamps to the last edge
-                )
+                upper = self.edges[index]
                 inside = (rank - cumulative) / bucket_count
                 return lower + (upper - lower) * min(1.0, inside)
             cumulative += bucket_count
         return float(self.edges[-1])
 
     def summary(self) -> dict:
-        """count/mean/p50/p95/p99 — the figure-facing digest."""
+        """count/mean/p50/p95/p99/overflow — the figure-facing digest.
+
+        ``overflow`` is the number of observations above the last
+        finite bucket edge; when it is non-zero, any percentile equal
+        to the last edge is a truncated lower bound, not an estimate.
+        """
         return {
             "count": self.count,
             "mean": self.mean,
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+            "overflow": self.overflow,
         }
 
     def reset(self) -> None:

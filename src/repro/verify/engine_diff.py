@@ -1,0 +1,262 @@
+"""Differential prover: scalar vs vectorized engine bit-equality.
+
+The vectorized batch engine (:mod:`repro.sim.engine`) claims **bit
+identity** with the scalar reference loop — not statistical closeness:
+the same ``SimResult`` (every float included), the same registry
+snapshot (latency histograms, cache counters, controller traffic), the
+same cache residency, and the same typed error if a run dies.  This
+module is the evidence.  It runs both engines over three surfaces and
+compares everything:
+
+* **corpus** — the committed fuzz corpus (``tests/corpus/*.json``):
+  each case's read/write op skeleton becomes a reference trace (tiled
+  so residency and LRU reuse matter), executed under the full
+  differential oracle (``verify=True``), so the embedded verify report
+  is part of the compared payload;
+* **sweep** — pinned-seed workload x scheme x warmup cells over the
+  standard generators (the same grid family ``repro bench`` and the
+  figures pin);
+* **chaos** — fault-injection runs wired through the per-op trace
+  event (:class:`~repro.faults.FaultInjector` polled from ``op_hook``),
+  where both engines must corrupt the same blocks at the same op
+  indices and surface the same outcome — including raising the same
+  typed error at the same point when the damage is fatal.
+
+``repro engine-diff`` runs the whole suite from the shell; the
+``engine-equivalence`` CI job gates merges on it.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import SecureSystem
+from repro.workloads.base import Workload
+
+#: Schema stamp for :func:`run_engine_diff` payloads.
+ENGINE_DIFF_SCHEMA = "engine_diff/v1"
+
+#: How many times a corpus case's op skeleton is tiled into a trace —
+#: enough repetition for cache reuse and LRU churn to matter.
+CORPUS_TILE = 25
+
+_COMPARED_KEYS = ("result", "error", "registry", "resident")
+
+
+def _trace_workload(name: str, refs: list, footprint_bytes: int) -> Workload:
+    """An in-memory list of references as a standard Workload."""
+
+    def generate(rng, footprint, num_refs):
+        return iter(refs)
+
+    return Workload(name, generate, footprint_bytes, len(refs))
+
+
+def corpus_trace(path: str, tile: int = CORPUS_TILE):
+    """The read/write skeleton of a corpus case as (refs, config).
+
+    Non-memory ops (faults, crashes, scrubs) are dropped — they drive
+    :class:`~repro.verify.replay.ReplayContext`, not the reference hot
+    loop — leaving the address/write pattern the fuzzer shrank to.
+    Returns ``None`` when the case has no read/write ops.
+    """
+    from repro.verify.replay import load_case
+
+    config, ops, _note = load_case(path)
+    skeleton = [
+        (op["block"] * 64, op["op"] == "write")
+        for op in ops
+        if op.get("op") in ("read", "write")
+    ]
+    if not skeleton:
+        return None
+    refs = [
+        (address, is_write, (i % 5) + 1)
+        for i, (address, is_write) in enumerate(skeleton * tile)
+    ]
+    return refs, config
+
+
+def _observe(build, engine: str) -> dict:
+    """Everything observable about one run under ``engine``."""
+    system, workload, kwargs = build()
+    result = error = None
+    try:
+        result = asdict(system.run(workload, engine=engine, **kwargs))
+    except Exception as exc:  # compared, not hidden: same error = pass
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "result": result,
+        "error": error,
+        "registry": system.registry.snapshot(),
+        "resident": [
+            cache.resident_addresses()
+            for cache in system.hierarchy.caches
+        ],
+    }
+
+
+def run_case(case: dict) -> dict:
+    """Run one case under both engines; returns the verdict row."""
+    scalar = _observe(case["build"], "scalar")
+    vector = _observe(case["build"], "vector")
+    mismatched = [
+        key for key in _COMPARED_KEYS if scalar[key] != vector[key]
+    ]
+    return {
+        "name": case["name"],
+        "kind": case["kind"],
+        "identical": not mismatched,
+        "mismatched": mismatched,
+        "error": scalar["error"],
+    }
+
+
+# ----------------------------------------------------------------------
+# case builders
+
+
+def corpus_cases(corpus_dir: str = "tests/corpus") -> list:
+    cases = []
+    for path in sorted(glob.glob(os.path.join(corpus_dir, "*.json"))):
+        trace = corpus_trace(path)
+        if trace is None:
+            continue
+        refs, config = trace
+
+        def build(refs=refs, config=config):
+            system = SecureSystem(
+                scheme=config.scheme,
+                config=SystemConfig.scaled(memory_mb=1),
+                functional_crypto=True,
+                rng=np.random.default_rng(config.seed),
+            )
+            workload = _trace_workload(
+                "corpus", refs, footprint_bytes=config.data_bytes
+            )
+            return system, workload, {"verify": True}
+
+        cases.append({
+            "name": f"corpus:{os.path.basename(path)}",
+            "kind": "corpus",
+            "build": build,
+        })
+    return cases
+
+
+def sweep_cases(refs: int = 4000, quick: bool = False) -> list:
+    """Pinned-seed scheme-sweep cells over the standard generators."""
+    from repro.workloads import make_workload
+
+    grid = [
+        ("gcc", (), {"footprint_bytes": 2 << 20}, "baseline", 0, 2021),
+        ("gcc", (), {"footprint_bytes": 2 << 20}, "sac", 513, 2021),
+        ("ubench", (128,), {"footprint_bytes": 8 << 20}, "src", 0, 7),
+        ("mcf", (), {"footprint_bytes": 8 << 20}, "sac", 0, 11),
+        ("ctree", (), {"footprint_bytes": 8 << 20}, "src", 257, 3),
+        ("lbm", (), {"footprint_bytes": 8 << 20}, "baseline", 0, 5),
+        ("milc", (), {"footprint_bytes": 8 << 20}, "src", 129, 13),
+        ("hashmap", (), {"footprint_bytes": 8 << 20}, "sac", 0, 17),
+    ]
+    if quick:
+        grid = grid[:4]
+    cases = []
+    for name, args, kwargs, scheme, warmup, seed in grid:
+        spec = (name, args, {**kwargs, "num_refs": refs})
+
+        def build(spec=spec, scheme=scheme, warmup=warmup, seed=seed):
+            system = SecureSystem(
+                scheme=scheme,
+                config=SystemConfig.scaled(memory_mb=32),
+                rng=np.random.default_rng(seed),
+            )
+            workload = make_workload(spec, seed=seed + 1)
+            return system, workload, {"warmup_refs": warmup}
+
+        label = f"{name}{''.join(str(a) for a in args)}"
+        cases.append({
+            "name": f"sweep:{label}/{scheme}/warmup{warmup}",
+            "kind": "sweep",
+            "build": build,
+        })
+    return cases
+
+
+def chaos_cases(refs: int = 4000) -> list:
+    """Fault-injection runs through the per-op trace event.
+
+    The injector is polled from ``op_hook`` — i.e. from the ``"op"``
+    event both engines emit per post-warmup reference — so corruption
+    lands at identical op indices; the engines must then agree on every
+    downstream consequence (repairs, quarantines, or the same typed
+    error at the same op).
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.workloads import make_workload
+
+    grid = [
+        ("counter-faults", ("counter",), "src", 19),
+        ("tree-faults", ("tree",), "sac", 23),
+    ]
+    cases = []
+    for label, targets, scheme, seed in grid:
+        def build(targets=targets, scheme=scheme, seed=seed):
+            system = SecureSystem(
+                scheme=scheme,
+                config=SystemConfig.scaled(memory_mb=32),
+                functional_crypto=True,
+                rng=np.random.default_rng(seed),
+            )
+            injector = FaultInjector(
+                system.controller, targets=targets, seed=seed,
+                num_faults=6, horizon_ops=refs, mode="direct",
+            )
+            workload = make_workload(
+                ("gcc", (), {"footprint_bytes": 2 << 20,
+                             "num_refs": refs}),
+                seed=seed + 1,
+            )
+            return system, workload, {"op_hook": injector.poll}
+
+        cases.append({
+            "name": f"chaos:{label}/{scheme}",
+            "kind": "chaos",
+            "build": build,
+        })
+    return cases
+
+
+# ----------------------------------------------------------------------
+# the suite
+
+
+def run_engine_diff(corpus_dir: str = "tests/corpus", refs: int = 4000,
+                    quick: bool = False, progress=None) -> dict:
+    """Run the full differential suite; returns the report payload.
+
+    ``identical`` is the headline verdict: True iff *every* case —
+    corpus, sweep, and chaos — produced bit-equal observations under
+    both engines.
+    """
+    cases = (
+        corpus_cases(corpus_dir)
+        + sweep_cases(refs=refs, quick=quick)
+        + chaos_cases(refs=refs)
+    )
+    rows = []
+    for case in cases:
+        row = run_case(case)
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return {
+        "schema": ENGINE_DIFF_SCHEMA,
+        "cases": rows,
+        "total": len(rows),
+        "identical": all(row["identical"] for row in rows),
+    }

@@ -30,11 +30,37 @@ class Workload:
     footprint_bytes: int
     num_refs: int
     seed: int = 1
+    # Optional vectorized twin of ``generator``:
+    # callable(rng, footprint, num_refs) -> (addresses, writes, gaps)
+    # numpy arrays, value-identical to the yielded stream.
+    array_generator: object = None
 
     def references(self):
         """Fresh iterator over the (identical) reference stream."""
         rng = np.random.default_rng(self.seed)
         return self.generator(rng, self.footprint_bytes, self.num_refs)
+
+    def reference_arrays(self):
+        """The whole stream as ``(addresses, writes, gaps)`` arrays.
+
+        ``None`` when this workload has no vectorized generator.  Both
+        paths seed a fresh rng identically and perform the same
+        arithmetic, so the arrays are value-identical to
+        :meth:`references` — a batched engine may consume either
+        source interchangeably (``tests/test_workloads.py`` pins the
+        equivalence per workload).
+        """
+        if self.array_generator is None:
+            return None
+        rng = np.random.default_rng(self.seed)
+        addresses, writes, gaps = self.array_generator(
+            rng, self.footprint_bytes, self.num_refs
+        )
+        return (
+            np.asarray(addresses, dtype=np.int64),
+            np.asarray(writes, dtype=bool),
+            np.asarray(gaps, dtype=np.int64),
+        )
 
     def reference_batches(self, batch_size: int = 8192):
         """The same stream, drained into successive lists.

@@ -18,6 +18,8 @@ applications" — the controller protects them identically):
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.workloads.base import Workload, zipf_addresses
 
 BLOCK = 64
@@ -32,6 +34,22 @@ def _mcf_generator(gap: int):
             # LCG-style pointer chase: effectively random block hops.
             node = (node * 6364136223846793005 + 1442695040888963407) % blocks
             yield node * BLOCK, bool(writes[i] < 0.05), gap
+    return generate
+
+
+def _lbm_arrays(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        half = blocks // 2
+        ref = np.arange(num_refs, dtype=np.int64)
+        pair = ref // 2
+        addresses = np.where(
+            ref % 2 == 0,
+            (pair % half) * BLOCK,
+            (half + pair % half) * BLOCK,
+        )
+        writes = ref % 2 == 1
+        return addresses, writes, np.full(num_refs, gap, dtype=np.int64)
     return generate
 
 
@@ -54,12 +72,37 @@ def _lbm_generator(gap: int):
     return generate
 
 
+def _libquantum_arrays(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        writes = rng.random(size=num_refs)
+        addresses = (np.arange(num_refs, dtype=np.int64) % blocks) * BLOCK
+        return addresses, writes < 0.02, np.full(num_refs, gap, dtype=np.int64)
+    return generate
+
+
 def _libquantum_generator(gap: int):
     def generate(rng, footprint_bytes, num_refs):
         blocks = footprint_bytes // BLOCK
         writes = rng.random(size=num_refs)
         for i in range(num_refs):
             yield (i % blocks) * BLOCK, bool(writes[i] < 0.02), gap
+    return generate
+
+
+def _gcc_arrays(gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        working_set = max(1, blocks // 16)
+        # Same rng consumption order as the scalar generator: zipf
+        # addresses first, then the write dice.
+        addresses = zipf_addresses(rng, working_set, num_refs)
+        writes = rng.random(size=num_refs)
+        return (
+            addresses.astype(np.int64) * BLOCK,
+            writes < 0.3,
+            np.full(num_refs, gap, dtype=np.int64),
+        )
     return generate
 
 
@@ -71,6 +114,15 @@ def _gcc_generator(gap: int):
         writes = rng.random(size=num_refs)
         for i in range(num_refs):
             yield int(addresses[i]) * BLOCK, bool(writes[i] < 0.3), gap
+    return generate
+
+
+def _milc_arrays(stride_blocks: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        blocks = footprint_bytes // BLOCK
+        ref = np.arange(num_refs, dtype=np.int64)
+        addresses = ((ref * stride_blocks) % blocks) * BLOCK
+        return addresses, ref % 4 == 3, np.full(num_refs, gap, dtype=np.int64)
     return generate
 
 
@@ -95,23 +147,31 @@ def mcf(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
 
 def lbm(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
         gap: int = 5) -> Workload:
-    return Workload("lbm", _lbm_generator(gap), footprint_bytes, num_refs)
+    return Workload(
+        "lbm", _lbm_generator(gap), footprint_bytes, num_refs,
+        array_generator=_lbm_arrays(gap),
+    )
 
 
 def libquantum(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
                gap: int = 4) -> Workload:
     return Workload(
-        "libquantum", _libquantum_generator(gap), footprint_bytes, num_refs
+        "libquantum", _libquantum_generator(gap), footprint_bytes, num_refs,
+        array_generator=_libquantum_arrays(gap),
     )
 
 
 def gcc(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
         gap: int = 40) -> Workload:
-    return Workload("gcc", _gcc_generator(gap), footprint_bytes, num_refs)
+    return Workload(
+        "gcc", _gcc_generator(gap), footprint_bytes, num_refs,
+        array_generator=_gcc_arrays(gap),
+    )
 
 
 def milc(footprint_bytes: int = 32 << 20, num_refs: int = 20_000,
          stride_blocks: int = 5, gap: int = 8) -> Workload:
     return Workload(
-        "milc", _milc_generator(stride_blocks, gap), footprint_bytes, num_refs
+        "milc", _milc_generator(stride_blocks, gap), footprint_bytes, num_refs,
+        array_generator=_milc_arrays(stride_blocks, gap),
     )

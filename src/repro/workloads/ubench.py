@@ -8,6 +8,8 @@ evicts more than uBENCH16 (Section 5.2).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.workloads.base import Workload
 
 
@@ -22,6 +24,15 @@ def _ubench_generator(stride: int, gap: int):
     return generate
 
 
+def _ubench_arrays(stride: int, gap: int):
+    def generate(rng, footprint_bytes, num_refs):
+        ref = np.arange(num_refs, dtype=np.int64)
+        addresses = (ref * stride) % footprint_bytes
+        writes = ref % 2 == 1  # read/write ratio of 1
+        return addresses, writes, np.full(num_refs, gap, dtype=np.int64)
+    return generate
+
+
 def ubench(stride: int, footprint_bytes: int = 16 << 20,
            num_refs: int = 20_000, gap: int = 4) -> Workload:
     """Sequential sweep touching one byte every ``stride`` bytes."""
@@ -32,4 +43,5 @@ def ubench(stride: int, footprint_bytes: int = 16 << 20,
         generator=_ubench_generator(stride, gap),
         footprint_bytes=footprint_bytes,
         num_refs=num_refs,
+        array_generator=_ubench_arrays(stride, gap),
     )

@@ -1,0 +1,251 @@
+"""Differential tests: the vectorized batch engine vs the scalar loop.
+
+The engine's contract is **bit identity**, not statistical closeness:
+same ``SimResult`` (floats included), same registry snapshot, same
+cache residency, same per-op event stream, same typed error when a run
+dies.  These tests enforce the contract directly at the system level;
+``repro engine-diff`` (tests below run its quick suite) extends the
+same check over the fuzz corpus, pinned sweeps, and chaos runs.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector
+from repro.sim import SecureSystem, SystemConfig
+from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    ENGINE_SCALAR,
+    ENGINE_VECTOR,
+    ENGINES,
+    default_engine,
+    resolve_engine,
+    run_batched,
+)
+from repro.verify.engine_diff import run_engine_diff
+from repro.workloads import make_workload
+
+GCC = ("gcc", (), {"footprint_bytes": 1 << 20, "num_refs": 1500})
+UBENCH = ("ubench", (128,), {"footprint_bytes": 1 << 20, "num_refs": 1500})
+MCF = ("mcf", (), {"footprint_bytes": 1 << 20, "num_refs": 1500})
+
+
+def _system(scheme="src", seed=7, memory_mb=16, **kwargs):
+    return SecureSystem(
+        scheme=scheme,
+        config=SystemConfig.scaled(memory_mb=memory_mb),
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+def _observe(scheme, spec, engine, seed=7, system_kwargs=None,
+             op_hook_factory=None, **run_kwargs):
+    """Run one cell under ``engine``; return everything observable."""
+    system = _system(scheme=scheme, seed=seed, **(system_kwargs or {}))
+    workload = make_workload(spec, seed=seed + 1)
+    if op_hook_factory is not None:
+        run_kwargs["op_hook"] = op_hook_factory(system)
+    result = error = None
+    try:
+        result = asdict(system.run(workload, engine=engine, **run_kwargs))
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "result": result,
+        "error": error,
+        "registry": system.registry.snapshot(),
+        "resident": [
+            cache.resident_addresses() for cache in system.hierarchy.caches
+        ],
+    }
+
+
+def _assert_identical(scheme, spec, **kwargs):
+    scalar = _observe(scheme, spec, ENGINE_SCALAR, **kwargs)
+    vector = _observe(scheme, spec, ENGINE_VECTOR, **kwargs)
+    assert vector == scalar
+    return vector
+
+
+class TestEngineSelection:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert default_engine() == ENGINE_VECTOR
+        assert resolve_engine(None) == ENGINE_VECTOR
+        assert resolve_engine("") == ENGINE_VECTOR
+
+    def test_env_override_flips_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_SCALAR)
+        assert default_engine() == ENGINE_SCALAR
+        assert resolve_engine(None) == ENGINE_SCALAR
+        # An explicit engine= wins over the environment.
+        assert resolve_engine(ENGINE_VECTOR) == ENGINE_VECTOR
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="turbo"):
+            default_engine()
+
+    def test_invalid_engine_argument_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("turbo")
+        system = _system()
+        with pytest.raises(ValueError, match="unknown engine"):
+            system.run(make_workload(GCC, seed=1), engine="turbo")
+
+    def test_engines_tuple_is_pinned(self):
+        assert ENGINES == ("vector", "scalar")
+
+
+class TestBitIdentity:
+    """System-level differential checks across representative cells."""
+
+    @pytest.mark.parametrize("scheme", ["baseline", "src", "sac"])
+    def test_gcc_identical_across_schemes(self, scheme):
+        observed = _assert_identical(scheme, GCC)
+        assert observed["error"] is None
+        assert observed["result"]["memory_requests"] == 1500
+
+    @pytest.mark.parametrize("spec", [UBENCH, MCF], ids=["ubench", "mcf"])
+    def test_other_workloads_identical(self, spec):
+        _assert_identical("src", spec)
+
+    def test_warmup_window_identical(self):
+        """Warmup flushes accounting mid-run in both engines; the
+        measured window (and the reset boundary) must align exactly."""
+        observed = _assert_identical("src", GCC, warmup_refs=300)
+        assert observed["result"]["memory_requests"] == 1200
+
+    def test_verify_oracle_identical(self):
+        """verify=True runs the full differential oracle inside both
+        engines; the embedded report is part of the compared payload."""
+        observed = _assert_identical(
+            "src", GCC, system_kwargs={"functional_crypto": True},
+            verify=True,
+        )
+        assert observed["result"]["verify"]["ok"] is True
+
+    def test_fault_injection_identical(self):
+        """op_hook rides the per-op trace event: both engines must
+        deliver identical op indices, so injected corruption lands at
+        the same points and every downstream repair/quarantine/error
+        agrees."""
+        def hook(system):
+            return FaultInjector(
+                system.controller, targets=("counter",), seed=19,
+                num_faults=4, horizon_ops=1500, mode="direct",
+            ).poll
+
+        _assert_identical(
+            "src", GCC, system_kwargs={"functional_crypto": True},
+            op_hook_factory=hook,
+        )
+
+    def test_array_source_matches_generator_source(self):
+        """The vector engine consumes pre-generated arrays when the
+        workload has a vectorized twin and the raw generator when not;
+        both sources must produce the same run."""
+        results = []
+        for strip_arrays in (False, True):
+            system = _system(scheme="src", seed=7)
+            workload = make_workload(GCC, seed=8)
+            if strip_arrays:
+                workload.array_generator = None
+                assert workload.reference_arrays() is None
+            else:
+                assert workload.reference_arrays() is not None
+            results.append({
+                "result": asdict(
+                    system.run(workload, warmup_refs=200, engine="vector")
+                ),
+                "registry": system.registry.snapshot(),
+            })
+        assert results[0] == results[1]
+
+    def test_batch_size_invariance(self):
+        """Totals and registry state cannot depend on where batch
+        boundaries fall (including a batch size of 1)."""
+        observations = []
+        for batch_size in (1, 7, 256, 100_000):
+            system = _system(scheme="src", seed=7)
+            workload = make_workload(GCC, seed=8)
+            totals = run_batched(
+                system, workload, warmup_refs=100, batch_size=batch_size
+            )
+            observations.append({
+                "totals": totals,
+                "registry": system.registry.snapshot(),
+                "resident": [
+                    cache.resident_addresses()
+                    for cache in system.hierarchy.caches
+                ],
+            })
+        assert all(o == observations[0] for o in observations[1:])
+
+    def test_hierarchy_state_reusable_after_vector_run(self):
+        """export_state leaves the caches authoritative: a scalar run
+        layered on a vector-warmed system matches a scalar run layered
+        on a scalar-warmed one."""
+        finals = []
+        for first_engine in (ENGINE_SCALAR, ENGINE_VECTOR):
+            system = _system(scheme="src", seed=7)
+            system.run(make_workload(GCC, seed=8), engine=first_engine)
+            result = system.run(
+                make_workload(UBENCH, seed=9), engine=ENGINE_SCALAR
+            )
+            finals.append(
+                (asdict(result), system.registry.snapshot())
+            )
+        assert finals[0] == finals[1]
+
+
+class TestEngineDiffSuite:
+    def test_quick_suite_is_identical(self):
+        """The committed differential prover (corpus + pinned sweeps +
+        chaos) at reduced refs — the same suite CI gates on."""
+        report = run_engine_diff(refs=600, quick=True)
+        assert report["schema"] == "engine_diff/v1"
+        failed = [row["name"] for row in report["cases"]
+                  if not row["identical"]]
+        assert failed == []
+        assert report["identical"] is True
+        kinds = {row["kind"] for row in report["cases"]}
+        assert kinds == {"corpus", "sweep", "chaos"}
+
+
+# The property-based sweep: randomized cells drawn across workloads
+# (vectorized and generator-only), schemes, seeds, and warmup windows.
+CELLS = st.tuples(
+    st.sampled_from([
+        ("gcc", (), {"footprint_bytes": 256 << 10}),
+        ("ubench", (64,), {"footprint_bytes": 256 << 10}),
+        ("milc", (), {"footprint_bytes": 256 << 10}),
+        ("lbm", (), {"footprint_bytes": 256 << 10}),
+        ("mcf", (), {"footprint_bytes": 256 << 10}),
+        ("hashmap", (), {"footprint_bytes": 256 << 10}),
+    ]),
+    st.sampled_from(["baseline", "src", "sac"]),
+    st.integers(min_value=0, max_value=2 ** 16),   # seed
+    st.sampled_from([0, 1, 97, 400]),              # warmup_refs
+)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(cell=CELLS)
+    def test_scalar_and_vector_simresults_equal(self, cell):
+        (name, args, kwargs), scheme, seed, warmup = cell
+        spec = (name, args, {**kwargs, "num_refs": 500})
+        scalar = _observe(scheme, spec, ENGINE_SCALAR, seed=seed,
+                          system_kwargs={"memory_mb": 4},
+                          warmup_refs=warmup)
+        vector = _observe(scheme, spec, ENGINE_VECTOR, seed=seed,
+                          system_kwargs={"memory_mb": 4},
+                          warmup_refs=warmup)
+        assert vector == scalar

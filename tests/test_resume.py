@@ -182,6 +182,37 @@ class TestResumeDeterminism:
         with pytest.raises(ValueError):
             SweepEngine([1], runner=_square, resume=True).run()
 
+    def test_resumed_cells_report_unknown_eta_not_zero(self, tmp_path):
+        """ETA honesty: restored cells complete instantly, so using
+        them as a rate basis would report a bogus near-zero ETA for
+        the real work remaining.  While only resumed cells have
+        completed the ETA must be None (unknown); once a fresh cell
+        lands it becomes a number; when the sweep is done it is 0."""
+        cells = [0, 1, 2, 3]
+        # Crash after the header + 2 journaled cells, leaving a
+        # partial journal to resume from.
+        partial = str(tmp_path / "partial")
+        engine = SweepEngine(
+            cells, runner=_square, jobs=1,
+            checkpoint=_crashing_journal(partial, fail_after=3),
+        )
+        with pytest.raises(SimulatedCrashError):
+            engine.run()
+
+        seen = []
+        resumed = SweepEngine(cells, runner=_square, jobs=1,
+                              checkpoint=partial, resume=True,
+                              progress=seen.append).run()
+        assert [o.result for o in resumed] == [0, 1, 4, 9]
+        restored = [p for p in seen if p.resumed]
+        fresh = [p for p in seen if not p.resumed]
+        assert len(restored) == 2 and len(fresh) == 2
+        # No observed rate while only restored cells have landed.
+        assert all(p.eta_seconds is None for p in restored)
+        # Fresh completions establish a rate; the final report is 0.
+        assert all(p.eta_seconds is not None for p in fresh)
+        assert fresh[-1].eta_seconds == 0
+
     def test_runtime_counters_track_resume(self, tmp_path):
         ckpt = str(tmp_path / "ckpt")
         SweepEngine([1, 2], runner=_square, jobs=1, checkpoint=ckpt).run()

@@ -118,6 +118,10 @@ class TestSweepEngine:
         SweepEngine(_cells(), jobs=1, progress=seen.append).run()
         assert [p.done for p in seen] == [1, 2, 3, 4]
         assert all(p.total == 4 for p in seen)
+        # Every completion here is fresh, so an observed rate exists
+        # and the ETA is a real number (None is reserved for streams
+        # with no fresh completions yet — see test_resume.py).
+        assert all(p.eta_seconds is not None for p in seen)
         assert all(p.eta_seconds >= 0 for p in seen)
         assert seen[-1].eta_seconds == 0
         assert all(p.ok for p in seen)
@@ -191,12 +195,30 @@ class TestBench:
         return run_bench(refs=500, jobs=2, seed=2021)
 
     def test_grid_is_pinned(self, payload):
-        assert payload["schema"] == "bench_perf/v2"
+        assert payload["schema"] == "bench_perf/v3"
         assert payload["telemetry_schema"] == "telemetry/v1"
-        assert len(payload["cells"]) == 12  # 4 workloads x 3 schemes
+        assert len(payload["cells"]) == 15  # 5 workloads x 3 schemes
         workloads = {c["workload"] for c in payload["cells"]}
-        assert workloads == {"ctree", "hashmap", "ubench", "mcf"}
+        assert workloads == {"ctree", "hashmap", "ubench", "mcf", "gcc"}
         assert all(c["ok"] for c in payload["cells"])
+
+    def test_gcc_cell_is_cache_resident_and_scaled(self, payload):
+        """The gcc showcase cell pins a 512 KiB footprint and 5x refs."""
+        gcc = [c for c in payload["cells"] if c["workload"] == "gcc"]
+        assert len(gcc) == 3
+        assert all(c["refs"] == 500 * 5 for c in gcc)
+        others = [c for c in payload["cells"] if c["workload"] != "gcc"]
+        assert all(c["refs"] == 500 for c in others)
+
+    def test_scalar_leg_is_bit_identical(self, payload):
+        """The bench doubles as a live engine differential check."""
+        assert payload["engines_identical"] is True
+        assert payload["scalar_wall_s"] > 0
+        assert payload["engine_speedup"] is not None
+        for cell in payload["cells"]:
+            assert cell["scalar_wall_s"] > 0
+            assert cell["scalar_refs_per_s"] > 0
+            assert cell["engine_speedup"] > 0
 
     def test_cells_report_latency_percentiles(self, payload):
         for cell in payload["cells"]:

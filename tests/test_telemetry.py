@@ -256,3 +256,92 @@ class TestManifest:
         assert by_name["latency.read"]["buckets"] == [float(2 ** k) for k in range(1, 15)]
         assert by_name["controller.quarantined_bytes"]["type"] == "gauge"
         assert all(m["help"] for m in manifest["metrics"])
+
+
+class TestHistogramOverflowAndBatch:
+    """The latency-reporting honesty fixes: overflow surfaced, edge
+    semantics pinned, and the batched path bit-identical to scalar."""
+
+    def test_overflow_surfaced_in_summary(self):
+        metric = HistogramMetric("x.latency", buckets=[1, 2, 4])
+        for value in [0.5, 1.5, 100, 200, 300]:
+            metric.observe(value)
+        assert metric.overflow == 3
+        summary = metric.summary()
+        assert summary["overflow"] == 3
+        assert summary["count"] == 5
+
+    def test_overflowing_percentile_truncates_at_last_edge(self):
+        """A quantile landing in the overflow bucket has no finite
+        upper edge: the last edge is returned as an honest lower
+        bound, never an extrapolated guess."""
+        metric = HistogramMetric("x.latency", buckets=[1, 2, 4])
+        for value in [100, 200, 300]:
+            metric.observe(value)
+        assert metric.percentile(0.5) == 4.0
+        assert metric.percentile(0.99) == 4.0
+        assert metric.summary()["p99"] == 4.0
+        assert metric.summary()["overflow"] == 3
+
+    def test_edge_value_counts_in_upper_bucket(self):
+        """Pinned semantics: bucket i covers (edges[i-1], edges[i]] —
+        a value exactly on an edge lands in the bucket whose *upper*
+        edge it is (bisect_left)."""
+        metric = HistogramMetric("x.latency", buckets=[1, 2, 4])
+        metric.observe(2)          # exactly on an edge
+        assert metric.counts == [0, 1, 0, 0]
+        metric.observe(4)          # last finite edge: NOT overflow
+        assert metric.counts == [0, 1, 1, 0]
+        assert metric.overflow == 0
+        metric.observe(4.000001)   # just past the edge: overflow
+        assert metric.overflow == 1
+
+    def test_observe_batch_bit_identical_to_sequential(self):
+        """counts, count and total (float, accumulation-order
+        sensitive) must be exactly equal, not approximately."""
+        import numpy as np
+        rng = np.random.default_rng(7)
+        values = (rng.random(5000) * 20.0).tolist()
+        edges = [1, 2, 4, 8, 16]
+        scalar = HistogramMetric("x.a", buckets=edges)
+        batched = HistogramMetric("x.b", buckets=edges)
+        for value in values:
+            scalar.observe(value)
+        # Uneven batch splits: identity must not depend on batching.
+        for chunk in (values[:1], values[1:1000], values[1000:], []):
+            batched.observe_batch(chunk)
+        assert batched.counts == scalar.counts
+        assert batched.count == scalar.count
+        assert batched.total == scalar.total     # bit-equal float
+        assert batched.summary() == scalar.summary()
+
+    def test_percentile_tracks_numpy_percentile(self):
+        """Within-bucket linear interpolation keeps the estimate close
+        to numpy's exact order statistic (one bucket width is the
+        resolution bound), and the overflow case truncates where numpy
+        would report the true larger value."""
+        import numpy as np
+        rng = np.random.default_rng(11)
+        values = (rng.random(8000) * 16.0).tolist()
+        edges = [2 ** k for k in range(-2, 5)]   # 0.25 .. 16
+        metric = HistogramMetric("x.latency", buckets=edges)
+        metric.observe_batch(values)
+        assert metric.overflow == 0
+        for q in (0.50, 0.90, 0.95, 0.99):
+            exact = float(np.percentile(values, q * 100))
+            estimate = metric.percentile(q)
+            # The winning bucket bounds the error by its own width.
+            from bisect import bisect_left
+            index = bisect_left(metric.edges, exact)
+            lower = metric.edges[index - 1] if index > 0 else 0.0
+            width = metric.edges[min(index, len(metric.edges) - 1)] - lower
+            assert abs(estimate - exact) <= width + 1e-9
+
+        # Overflow: numpy sees the real tail; the histogram truncates
+        # at the last edge and says so via the overflow count.
+        tail = values + [500.0] * 800            # ~9% above the edge
+        overflowing = HistogramMetric("x.tail", buckets=edges)
+        overflowing.observe_batch(tail)
+        assert overflowing.overflow == 800
+        assert overflowing.percentile(0.99) == float(edges[-1])
+        assert float(np.percentile(tail, 99)) > edges[-1]

@@ -198,3 +198,45 @@ class TestSuiteAndHelpers:
     def test_workload_dataclass(self):
         w = Workload("x", lambda rng, f, n: iter(()), 1024, 0)
         assert w.materialize() == []
+
+
+class TestReferenceArrays:
+    """The vectorized twin generators must be value-identical to the
+    scalar generators — the batched engine consumes either source
+    interchangeably, so any drift here is an engine-equivalence bug."""
+
+    VECTORIZED = [
+        lambda: ubench(16),
+        lambda: ubench(128),
+        lambda: lbm(),
+        lambda: libquantum(),
+        lambda: gcc(),
+        lambda: milc(),
+    ]
+
+    @pytest.mark.parametrize("factory", VECTORIZED)
+    def test_arrays_match_generator_stream(self, factory):
+        workload = factory()
+        workload.num_refs = 2000
+        arrays = workload.reference_arrays()
+        assert arrays is not None
+        addresses, writes, gaps = arrays
+        assert addresses.dtype == np.int64
+        assert writes.dtype == bool
+        assert gaps.dtype == np.int64
+        stream = workload.materialize()
+        assert len(stream) == len(addresses) == 2000
+        for i, (address, is_write, gap) in enumerate(stream):
+            assert addresses[i] == address
+            assert writes[i] == bool(is_write)
+            assert gaps[i] == gap
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: mcf(), lambda: ctree(), lambda: hashmap(),
+         lambda: pmemkv(0.5), lambda: ycsb_a()],
+    )
+    def test_stateful_workloads_stay_scalar(self, factory):
+        """Sequential/stateful generators have no vectorized twin; the
+        engine must fall back to draining the generator."""
+        assert factory().reference_arrays() is None
