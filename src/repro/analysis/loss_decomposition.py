@@ -40,10 +40,12 @@ class LossDecomposition:
 def decompose(p_block_due: float, data_bytes: int, scheme: str) -> LossDecomposition:
     """Expected loss decomposition at one failure rate.
 
-    ``scheme`` is ``non-secure``, ``baseline``, ``src`` or ``sac``.
+    ``scheme`` is ``non-secure`` or any registered scheme name.
     """
+    from repro.schemes import NON_SECURE_SCHEMES
+
     l_error = p_block_due * data_bytes
-    if scheme.lower() in ("non-secure", "nonsecure"):
+    if scheme.lower() in NON_SECURE_SCHEMES:
         return LossDecomposition(
             scheme="non-secure",
             data_bytes=data_bytes,
@@ -66,7 +68,9 @@ def decompose(p_block_due: float, data_bytes: int, scheme: str) -> LossDecomposi
 
 def figure12_table(p_block_due: float, data_bytes: int = 8 << 40) -> dict:
     """All four Figure 12 bars for an 8TB memory."""
+    from repro.schemes import PAPER_SCHEMES
+
     return {
         scheme: decompose(p_block_due, data_bytes, scheme)
-        for scheme in ("non-secure", "baseline", "src", "sac")
+        for scheme in ("non-secure",) + tuple(PAPER_SCHEMES)
     }

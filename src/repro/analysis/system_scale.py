@@ -101,6 +101,8 @@ def compare_fleet(
     p_multi_due: dict = None,
 ) -> dict:
     """All three schemes projected onto the same fleet."""
+    from repro.schemes import PAPER_SCHEMES
+
     return {
         scheme: project_fleet(
             p_block_due,
@@ -109,7 +111,7 @@ def compare_fleet(
             data_bytes_per_node=data_bytes_per_node,
             p_multi_due=p_multi_due,
         )
-        for scheme in ("baseline", "src", "sac")
+        for scheme in PAPER_SCHEMES
     }
 
 

@@ -86,25 +86,17 @@ def compute_udr(
 
 
 def scheme_depths(scheme: str, data_bytes: int) -> dict:
-    """Clone-depth map for one of the paper's schemes at this size."""
-    from repro.controller.policy import CloningPolicy
-    from repro.core import AggressiveCloning, RelaxedCloning
+    """Clone-depth map for a registered scheme at this size."""
+    from repro.schemes import resolve_scheme
 
     num_levels = len(level_inventory(data_bytes))
-    policies = {
-        "baseline": CloningPolicy(),
-        "src": RelaxedCloning(),
-        "sac": AggressiveCloning(),
-    }
-    try:
-        policy = policies[scheme.lower()]
-    except KeyError:
-        raise ValueError(f"unknown scheme {scheme!r}") from None
-    return policy.depth_map(num_levels)
+    return resolve_scheme(scheme).depth_map(num_levels)
 
 
 def compare_schemes(p_block_due: float, data_bytes: int, p_multi_due: dict = None) -> dict:
     """UDR of baseline / SRC / SAC at one failure rate (Figure 11)."""
+    from repro.schemes import PAPER_SCHEMES
+
     return {
         scheme: compute_udr(
             p_block_due,
@@ -113,7 +105,7 @@ def compare_schemes(p_block_due: float, data_bytes: int, p_multi_due: dict = Non
             scheme=scheme,
             p_multi_due=p_multi_due,
         )
-        for scheme in ("baseline", "src", "sac")
+        for scheme in PAPER_SCHEMES
     }
 
 

@@ -26,13 +26,19 @@ import argparse
 import numpy as np
 
 from repro.analysis import compare_schemes, figure12_table, level_inventory
-from repro.core import SCHEMES, make_controller
+from repro.core import make_controller
 from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
-from repro.recovery import OsirisRecovery, RecoveryManager
+from repro.recovery import recover_image, recovery_procedure_for
 from repro.runtime import (
     TooManyFailuresError,
     atomic_write_json,
     atomic_write_text,
+)
+from repro.schemes import (
+    PAPER_SCHEMES,
+    all_schemes,
+    resolve_scheme,
+    scheme_names,
 )
 from repro.sim import (
     SimCell,
@@ -133,7 +139,7 @@ def cmd_info(args) -> int:
     overhead = total_nodes * 64 / size
     print(f"metadata storage overhead: {overhead * 100:.2f}% "
           "(paper: ~1.78% incl. counters)")
-    for scheme in SCHEMES:
+    for scheme in scheme_names():
         from repro.analysis import scheme_depths
 
         depths = scheme_depths(scheme, size)
@@ -157,7 +163,7 @@ def cmd_perf(args) -> int:
         if not named:
             print(f"no workloads match {sorted(wanted)}")
             return 1
-    schemes = ("baseline", "src", "sac")
+    schemes = PAPER_SCHEMES
     cells = [
         SimCell(workload=spec, scheme=scheme, config=config, seed=args.seed,
                 engine=args.engine or "")
@@ -479,7 +485,10 @@ def cmd_verify(args) -> int:
     crash_reports = {}
     crash_ok = True
     for scheme in args.schemes:
-        for mode in ("toc", "bmt"):
+        # Schemes that pin their integrity mode (triad -> bmt, phoenix
+        # -> toc) get one campaign; unpinned schemes cover both trees.
+        pinned = resolve_scheme(scheme).integrity_mode
+        for mode in (pinned,) if pinned else ("toc", "bmt"):
             campaign = CrashPointConfig(
                 scheme=scheme,
                 integrity_mode=mode,
@@ -563,11 +572,14 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_crash_test(args) -> int:
+    scheme = resolve_scheme(args.scheme)
+    # A scheme that pins its integrity mode wins over --integrity.
+    integrity = scheme.integrity_mode or args.integrity
     ctrl = make_controller(
-        args.scheme,
+        scheme,
         args.data_kb * KB,
         metadata_cache_bytes=args.cache_kb * KB,
-        integrity_mode=args.integrity,
+        integrity_mode=integrity,
         rng=np.random.default_rng(args.seed),
     )
     rng = np.random.default_rng(args.seed + 1)
@@ -581,7 +593,7 @@ def cmd_crash_test(args) -> int:
     print(f"crashed after {args.ops} writes "
           f"({len(expect)} distinct blocks)")
 
-    if args.corrupt_shadow and args.integrity == "toc":
+    if args.corrupt_shadow and integrity == "toc":
         target = None
         for slot in range(ctrl.amap.shadow_entries):
             address = ctrl.amap.shadow_entry_addr(slot)
@@ -599,27 +611,93 @@ def cmd_crash_test(args) -> int:
             image.nvm.flip_bits(target, [mac_byte * 8 + 1])
             print(f"corrupted shadow entry at {target:#x}")
 
+    procedure = recovery_procedure_for(image)
     try:
-        if args.integrity == "toc":
-            recovered, report = RecoveryManager(image).recover()
-            print(f"recovery OK: {report.entries_scanned} entries, "
-                  f"{report.counters_recovered} counters, "
-                  f"{report.nodes_recovered} nodes, "
-                  f"{report.repaired_entries} repaired entries")
-        else:
-            recovered, report = OsirisRecovery(image).recover()
-            print(f"recovery OK: {report.counter_blocks_scanned} counter "
-                  f"blocks, {report.trials} trials, "
-                  f"{report.nodes_regenerated} nodes regenerated")
+        recovered, report = recover_image(image)
     except Exception as exc:  # RecoveryError surfaces to the operator
-        print(f"RECOVERY FAILED: {exc}")
+        print(f"RECOVERY FAILED ({procedure}): {exc}")
         return 1
+    from dataclasses import asdict
+
+    counters = ", ".join(
+        f"{key}={value}" for key, value in asdict(report).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+    print(f"recovery OK ({procedure}): {counters}")
     losses = sum(
         1 for block, data in expect.items()
         if recovered.read(block).data != data
     )
     print(f"data check: {len(expect) - losses}/{len(expect)} blocks intact")
     return 0 if losses == 0 else 1
+
+
+def cmd_schemes(args) -> int:
+    """List every registered persistence-security scheme."""
+    size = _parse_size(args.size)
+    print(f"{'scheme':<10} {'persist policy':<16} {'recovery':<9} "
+          f"{'origin':<8} {'clone depths':<16} description")
+    for scheme in all_schemes():
+        policy = scheme.update_policy or "lazy"
+        if policy == "selective":
+            policy = f"selective(N={scheme.persist_levels})"
+        elif policy == "batched":
+            policy = f"batched(B={scheme.persist_batch})"
+        depths = scheme.depths_for(size)
+        compact = ",".join(
+            str(depths[level]) for level in sorted(depths)
+        )
+        origin = "builtin" if scheme.builtin else "plugin"
+        name = scheme.name
+        if scheme.is_reference:
+            name += "*"
+        print(f"{name:<10} {policy:<16} "
+              f"{scheme.recovery_procedure():<9} {origin:<8} "
+              f"{compact:<16} {scheme.description}")
+        if scheme.aliases:
+            print(f"{'':<10} aliases: {', '.join(scheme.aliases)}")
+    print("(* = reference scheme; clone depths level 1 -> root "
+          f"at {args.size})")
+    return 0
+
+
+def cmd_compare_schemes(args) -> int:
+    """Cross-scheme study: performance, crash recovery, UDR."""
+    from repro.figures import export_csv
+    from repro.schemes import (
+        STUDY_CSV_HEADER,
+        run_scheme_study,
+        study_report,
+    )
+
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}"))
+    study = run_scheme_study(
+        schemes=tuple(args.schemes) if args.schemes else None,
+        memory_mb=args.memory_mb,
+        crash_ops=args.crash_ops,
+        p_block_due=args.p_block_due,
+        seed=args.seed,
+        progress=progress,
+    )
+    print(f"{'scheme':<10} {'slowdown':>9} {'write ovh':>10} "
+          f"{'recovery':>12} {'rec ok':>7} {'UDR':>10} {'resil.':>8}")
+    for row in study_report(study):
+        name, slowdown, write_ovh, recovery_ns, ok, udr, resil = row
+        recovery = ("-" if recovery_ns is None
+                    else f"{recovery_ns / 1000:.1f}us")
+        resil_text = "inf" if resil == float("inf") else f"{resil:.1f}x"
+        print(f"{name:<10} {slowdown * 100:>8.2f}% {write_ovh * 100:>9.2f}% "
+              f"{recovery:>12} {'yes' if ok else 'NO':>7} "
+              f"{udr:>10.3e} {resil_text:>8}")
+    print(f"reference scheme: {study['reference']}")
+    print(f"clean-cut recovery: {'OK' if study['ok'] else 'FAILED'}")
+    if args.out:
+        atomic_write_json(args.out, study)
+        print(f"wrote {args.out}")
+    if args.csv:
+        export_csv(args.csv, list(STUDY_CSV_HEADER), study_report(study))
+        print(f"wrote {args.csv}")
+    return 0 if study["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -700,8 +778,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", type=int, default=6,
                    help="injected fault events per run")
     p.add_argument("--seed", type=int, default=2021)
-    p.add_argument("--schemes", nargs="+", default=["baseline", "src", "sac"],
-                   choices=list(SCHEMES))
+    p.add_argument("--schemes", nargs="+", default=list(PAPER_SCHEMES),
+                   choices=list(scheme_names()))
     p.add_argument("--targets", nargs="+",
                    default=["counter", "tree", "counter_mac"],
                    help="layout regions to poison (see INJECTION_TARGETS)")
@@ -745,7 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject faults at every k-th crash point "
                         "(0 = clean cuts only)")
     p.add_argument("--schemes", nargs="+", default=["src", "sac"],
-                   choices=list(SCHEMES))
+                   choices=list(scheme_names()))
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the workload sweep")
     p.add_argument("--replay", default=None, metavar="CASE.json",
@@ -779,6 +857,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to a file instead of stdout")
     p.set_defaults(func=cmd_metrics)
 
+    p = sub.add_parser(
+        "schemes",
+        help="list registered persistence-security schemes",
+    )
+    p.add_argument("--size", default="1tb",
+                   help="memory size for the clone-depth column")
+    p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser(
+        "compare-schemes",
+        help="cross-scheme study: performance overhead, crash-recovery "
+             "time, UDR (scheme_study/v1)",
+    )
+    p.add_argument("--schemes", nargs="+", default=None,
+                   choices=list(scheme_names()),
+                   help="subset to study (default: every registered "
+                        "scheme; the reference is always included)")
+    p.add_argument("--memory-mb", type=int, default=16,
+                   help="timing-simulator memory size")
+    p.add_argument("--crash-ops", type=int, default=160,
+                   help="ops before the power cut in the recovery leg")
+    p.add_argument("--p-block-due", type=float, default=1e-4,
+                   help="per-block DUE probability for the UDR column")
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-stage progress lines")
+    p.add_argument("--out", default=None,
+                   help="write the scheme_study/v1 JSON report here")
+    p.add_argument("--csv", default=None,
+                   help="export the per-scheme figure rows as CSV")
+    p.set_defaults(func=cmd_compare_schemes)
+
     p = sub.add_parser("figures", help="regenerate all paper figures as CSV")
     p.add_argument("--out", default="results",
                    help="output directory (default: results/)")
@@ -787,7 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("crash-test", help="functional crash/recovery run")
-    p.add_argument("--scheme", default="src", choices=list(SCHEMES))
+    p.add_argument("--scheme", default="src", choices=list(scheme_names()))
     p.add_argument("--integrity", default="toc", choices=["toc", "bmt"])
     p.add_argument("--data-kb", type=int, default=256)
     p.add_argument("--cache-kb", type=int, default=4)

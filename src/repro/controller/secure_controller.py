@@ -86,6 +86,19 @@ class CrashImage:
     update_policy: str = "lazy"
     integrity_mode: str = "toc"
     quarantine: bool = False
+    persist_levels: int = 2
+    persist_batch: int = 8
+    #: Registered scheme name the controller was built for ("" for
+    #: hand-assembled controllers); recovery routing keys on it.
+    scheme: str = ""
+
+
+#: Metadata update/persist policies (Table 1 + related work):
+#: ``lazy`` persists on eviction with an Osiris stop-loss, ``eager``
+#: persists the whole branch per write, ``selective`` (Triad-NVM)
+#: persists the branch only up to ``persist_levels``, ``batched``
+#: (Phoenix) flushes all dirty metadata every ``persist_batch`` writes.
+UPDATE_POLICIES = ("lazy", "eager", "selective", "batched")
 
 
 class SecureMemoryController:
@@ -106,19 +119,37 @@ class SecureMemoryController:
         update_policy: str = "lazy",
         integrity_mode: str = "toc",
         quarantine: bool = False,
+        persist_levels: int = 2,
+        persist_batch: int = 8,
+        scheme_name: str = "",
         rng=None,
         trusted: TrustedState = None,
         registry=None,
         tracer: Tracer = None,
     ):
-        if update_policy not in ("lazy", "eager"):
+        if update_policy not in UPDATE_POLICIES:
             raise ValueError(
-                f"update_policy must be 'lazy' or 'eager', got {update_policy!r}"
+                f"update_policy must be one of {UPDATE_POLICIES}, "
+                f"got {update_policy!r}"
             )
         if integrity_mode not in ("toc", "bmt"):
             raise ValueError(
                 f"integrity_mode must be 'toc' or 'bmt', got {integrity_mode!r}"
             )
+        if update_policy == "selective" and integrity_mode != "bmt":
+            raise ValueError(
+                "the 'selective' update policy requires integrity_mode='bmt' "
+                "(upper levels regenerate from persisted digests at recovery)"
+            )
+        if update_policy == "batched" and integrity_mode != "toc":
+            raise ValueError(
+                "the 'batched' update policy requires integrity_mode='toc' "
+                "(recovery reseals the counter tree from the on-chip root)"
+            )
+        if persist_levels < 1:
+            raise ValueError("persist_levels must be >= 1")
+        if persist_batch < 1:
+            raise ValueError("persist_batch must be >= 1")
         self.data_bytes = data_bytes
         self.clone_policy = clone_policy or CloningPolicy()
         self.shadow_codec = shadow_codec or AnubisShadowCodec()
@@ -139,6 +170,12 @@ class SecureMemoryController:
         #: recovery is Osiris trials + tree regeneration, no shadow
         #: table).  Section 2.5 / 6.1.
         self.integrity_mode = integrity_mode
+        #: Bottom tree levels persisted per write ("selective" policy).
+        self.persist_levels = persist_levels
+        #: Data writes between whole-estate flushes ("batched" policy).
+        self.persist_batch = persist_batch
+        self.scheme_name = scheme_name
+        self._batch_writes = 0
 
         #: Structured per-op trace hook; instrumented sites check one
         #: ``enabled`` attribute, so tracing-disabled runs pay nothing.
@@ -306,6 +343,24 @@ class SecureMemoryController:
 
             if self.update_policy == "eager":
                 self._persist_branch(counter_index, entry, cost)
+            elif self.update_policy == "selective":
+                # Triad-NVM: the counter and the bottom persist_levels
+                # of its branch are strictly persistent; upper levels
+                # regenerate at recovery.
+                self._persist_branch(
+                    counter_index, entry, cost, max_level=self.persist_levels
+                )
+            elif self.update_policy == "batched":
+                # Phoenix: the Osiris stop-loss still bounds counter
+                # staleness; every persist_batch writes the whole dirty
+                # metadata estate flushes (no shadow tracking at all).
+                if updates >= self.osiris_limit:
+                    self.stats.osiris_persists += 1
+                    self._persist_counter_entry(counter_index, entry, cost)
+                self._batch_writes += 1
+                if self._batch_writes >= self.persist_batch:
+                    self._batch_writes = 0
+                    self._flush_metadata(cost)
             elif updates >= self.osiris_limit:
                 self.stats.osiris_persists += 1
                 self._persist_counter_entry(counter_index, entry, cost)
@@ -326,16 +381,26 @@ class SecureMemoryController:
             )
         return cost
 
-    def _persist_branch(self, counter_index: int, entry: CounterEntry, cost: OpCost) -> None:
+    def _persist_branch(
+        self, counter_index: int, entry: CounterEntry, cost: OpCost,
+        max_level: int = None,
+    ) -> None:
         """Eager update: persist the counter and every ancestor it
         dirtied, leaf to root, leaving the whole branch clean in cache
-        and current in NVM (the root is then never stale)."""
+        and current in NVM (the root is then never stale).
+
+        ``max_level`` bounds the walk (the "selective" policy): only
+        levels up to it persist; higher dirty ancestors stay cached.
+        """
+        top = self.amap.num_levels
+        if max_level is not None:
+            top = min(max_level, top)
         self._persist_counter_entry(counter_index, entry, cost)
         address = self.amap.node_addr(1, counter_index)
         if self._mcache.contains(address):
             self._mcache.mark_clean(address)
         index = counter_index
-        for level in range(2, self.amap.num_levels + 1):
+        for level in range(2, top + 1):
             index //= 8
             address = self.amap.node_addr(level, index)
             if not self._mcache.is_dirty(address):
@@ -353,6 +418,14 @@ class SecureMemoryController:
         resident (clean) afterwards.
         """
         cost = OpCost()
+        self._flush_metadata(cost)
+        self._wpq.drain_all()
+        return cost
+
+    def _flush_metadata(self, cost: OpCost) -> None:
+        """Persist every dirty metadata block in place, leaves up (the
+        shared body of :meth:`flush` and the Phoenix batch flush; the
+        WPQ keeps draining in the background here)."""
         for level in range(1, self.amap.num_levels + 1):
             for address, payload, dirty in self._mcache.resident():
                 if not dirty or not self._mcache.is_dirty(address):
@@ -360,12 +433,16 @@ class SecureMemoryController:
                 region = self.amap.region_of(address)
                 if region[0] == "counter" and level == 1:
                     self._persist_counter_entry(region[1], payload, cost)
-                    self._mcache.mark_clean(address)
                 elif region[0] == "tree" and region[1] == level:
                     self._persist_node(level, region[2], payload.node, cost)
+                else:
+                    continue
+                # Persisting can itself evict this line (a ToC parent
+                # bump may miss-fetch into a full set); the victim
+                # drain already persisted it, so only clean what is
+                # still resident.
+                if self._mcache.contains(address):
                     self._mcache.mark_clean(address)
-        self._wpq.drain_all()
-        return cost
 
     def rekey(self, rng=None) -> OpCost:
         """Re-encrypt the entire memory under fresh keys.
@@ -412,6 +489,7 @@ class SecureMemoryController:
         self.root = TocNode() if self.integrity_mode == "toc" else BmtNode()
         self._mcache.flush_all()
         self._victims.clear()
+        self._batch_writes = 0
         self._shadow = ShadowManager(
             self.amap,
             self.nvm,
@@ -467,6 +545,9 @@ class SecureMemoryController:
             update_policy=self.update_policy,
             integrity_mode=self.integrity_mode,
             quarantine=self.quarantine is not None,
+            persist_levels=self.persist_levels,
+            persist_batch=self.persist_batch,
+            scheme=self.scheme_name,
         )
 
     # ------------------------------------------------------------------

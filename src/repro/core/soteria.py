@@ -1,41 +1,29 @@
-"""Factories for the three controller configurations the paper compares.
+"""Scheme-string entry point for the paper's controller configurations.
 
-* ``baseline``  — improved-security NVM system per the state of the art
-  (ToC + lazy update + Anubis tracking), no clones (Section 5.2).
-* ``src``       — Soteria Relaxed Cloning: every node duplicated once.
-* ``sac``       — Soteria Aggressive Cloning: upper levels duplicated
-  more (Table 2), plus the duplicated shadow-entry format.
-
-Both Soteria variants also install the duplicated shadow codec — the
-Figure 8b layout is part of the Soteria design, not an SRC/SAC knob.
+Historically this module *was* the scheme dispatch: an if/elif over
+``baseline`` / ``src`` / ``sac``.  The dispatch now lives in the
+:mod:`repro.schemes` registry — importing it registers the builtin
+schemes (the paper trio plus the related-work Triad-NVM and Phoenix
+designs), and :func:`make_controller` is a thin delegate kept for the
+many call sites (and external scripts) that build controllers by name.
+``SCHEMES`` remains the paper trio; use
+:func:`repro.schemes.scheme_names` for everything registered.
 """
 
 from __future__ import annotations
 
-from repro.controller import AnubisShadowCodec, SecureMemoryController
-from repro.controller.policy import CloningPolicy
-from repro.core.cloning import AggressiveCloning, RelaxedCloning
-from repro.core.shadow_dup import SoteriaShadowCodec
+from repro.controller import SecureMemoryController
+from repro.schemes import PAPER_SCHEMES, resolve_scheme
 
-SCHEMES = ("baseline", "src", "sac")
+SCHEMES = PAPER_SCHEMES
 
 
-def make_controller(scheme: str, data_bytes: int, **kwargs) -> SecureMemoryController:
-    """Build a controller for one of the paper's schemes.
+def make_controller(scheme, data_bytes: int, **kwargs) -> SecureMemoryController:
+    """Build a controller for a registered scheme (name or instance).
 
     Extra keyword arguments pass straight to
     :class:`~repro.controller.SecureMemoryController` (cache size, NVM
-    device, ``functional_crypto``, seeds, ...).
+    device, ``functional_crypto``, seeds, ...) and win over the
+    scheme's pinned knobs.
     """
-    scheme = scheme.lower()
-    if scheme == "baseline":
-        policy, codec = CloningPolicy(), AnubisShadowCodec()
-    elif scheme == "src":
-        policy, codec = RelaxedCloning(), SoteriaShadowCodec()
-    elif scheme == "sac":
-        policy, codec = AggressiveCloning(), SoteriaShadowCodec()
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
-    return SecureMemoryController(
-        data_bytes, clone_policy=policy, shadow_codec=codec, **kwargs
-    )
+    return resolve_scheme(scheme).build(data_bytes, **kwargs)

@@ -42,6 +42,7 @@ from repro.controller import (
 )
 from repro.core import make_controller
 from repro.faults.injector import INJECTION_TARGETS, FaultInjector
+from repro.schemes import PAPER_SCHEMES, reference_scheme, resolve_scheme
 from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
 from repro.verify.audit import audit_mirror
 
@@ -62,7 +63,7 @@ class CampaignConfig:
     num_faults: int = 6              # injected events per run
     horizon_fraction: float = 0.6    # faults arrive in the first X ops
     seed: int = 2021
-    schemes: tuple = ("baseline", "src", "sac")
+    schemes: tuple = PAPER_SCHEMES
     targets: tuple = ("counter", "tree", "counter_mac")
     scrub_intervals: tuple = (0, 250)   # 0 = no background scrubbing
     scrub_max_retries: int = 3
@@ -82,6 +83,11 @@ class CampaignConfig:
             raise ValueError("horizon_fraction must be in (0, 1]")
         if not 0 <= self.write_fraction <= 1:
             raise ValueError("write_fraction must be in [0, 1]")
+        # Canonicalise through the registry: aliases collapse to their
+        # scheme's name and unknown schemes fail with the uniform error.
+        self.schemes = tuple(
+            resolve_scheme(scheme).name for scheme in self.schemes
+        )
         unknown = [t for t in self.targets if t not in INJECTION_TARGETS]
         if unknown:
             raise ValueError(
@@ -268,11 +274,11 @@ def run_single(
         # the mirror itself, and crash() invalidates the old controller.
         if oracle is not None:
             oracle.detach()
-        from repro.recovery import RecoveryManager
+        from repro.recovery import recover_image
 
         image = ctrl.crash()
         try:
-            ctrl, _ = RecoveryManager(image).recover()
+            ctrl, _ = recover_image(image)
             recovery = "recovered"
         except SecureMemoryError as exc:
             recovery = f"failed:{type(exc).__name__}"
@@ -426,10 +432,11 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
         }
 
     resilience = {}
-    if "baseline" in schemes:
-        base = schemes["baseline"]["mean_empirical_udr"]
+    reference = reference_scheme().name
+    if reference in schemes:
+        base = schemes[reference]["mean_empirical_udr"]
         for scheme in config.schemes:
-            if scheme == "baseline" or scheme not in schemes:
+            if scheme == reference or scheme not in schemes:
                 continue
             mine = schemes[scheme]["mean_empirical_udr"]
             resilience[scheme] = {

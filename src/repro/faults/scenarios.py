@@ -49,7 +49,7 @@ checkpoint/resume + supervision runtime.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -62,9 +62,9 @@ from repro.controller import (
     SecureMemoryError,
 )
 from repro.core import make_controller
-from repro.core.soteria import SCHEMES
 from repro.faults.campaign import SilentCorruptionError
 from repro.faults.injector import INJECTION_TARGETS, FaultInjector
+from repro.schemes import resolve_scheme
 from repro.telemetry import SCHEMA_VERSION as TELEMETRY_SCHEMA
 from repro.verify.audit import audit_mirror
 
@@ -287,9 +287,11 @@ class ScenarioConfig:
     trace: str = None                # external trace file for the stream
 
     def __post_init__(self):
-        unknown = [s for s in self.schemes if s not in SCHEMES]
-        if unknown:
-            raise ValueError(f"unknown schemes {unknown}")
+        # Canonicalise through the registry (aliases collapse, unknown
+        # schemes fail with the uniform resolve_scheme error).
+        self.schemes = tuple(
+            resolve_scheme(scheme).name for scheme in self.schemes
+        )
         for name in self.scenarios:
             get_scenario(name)       # fail fast on typos
         if not 0 <= self.write_fraction <= 1:
@@ -388,16 +390,6 @@ class _Stream:
         return block, bool(is_write)
 
 
-def _recover(image):
-    if image.integrity_mode == "toc":
-        from repro.recovery import RecoveryManager
-
-        return RecoveryManager(image).recover()
-    from repro.recovery import OsirisRecovery
-
-    return OsirisRecovery(image).recover()
-
-
 class _Run:
     """Mutable state threaded through one scenario execution."""
 
@@ -493,6 +485,8 @@ def _phase_ops(config: ScenarioConfig, phase: Phase, run: _Run,
 
 def _phase_power_cut(config: ScenarioConfig, phase: Phase, run: _Run,
                      seed: int) -> dict:
+    from repro.recovery import recover_image
+
     cuts = []
     for cut in range(phase.cuts):
         injected = None
@@ -503,7 +497,7 @@ def _phase_power_cut(config: ScenarioConfig, phase: Phase, run: _Run,
         run.session.detach()
         image = run.ctrl.crash()
         try:
-            recovered, _ = _recover(image)
+            recovered, _ = recover_image(image)
         except (RecoveryError, SecureMemoryError) as exc:
             outcome = f"failed:{type(exc).__name__}"
             run.recovery.append(outcome)

@@ -20,13 +20,14 @@ from repro.analysis import (
     geometric_mean,
 )
 from repro.faults import FaultSimConfig, FaultSimulator, mtbf_hours
+from repro.schemes import PAPER_SCHEMES
 from repro.sim import SystemConfig, run_schemes
 from repro.workloads import standard_suite
 
 TB = 1 << 40
 MB = 1 << 20
 
-SCHEMES = ("baseline", "src", "sac")
+SCHEMES = PAPER_SCHEMES
 FIT_SWEEP = (1, 5, 10, 20, 40, 80)
 
 
@@ -250,6 +251,24 @@ def run_all(outdir, quick: bool = True, echo=print) -> dict:
     rows = mtbf_rows()
     export_csv(outdir / "mtbf_calibration.csv", ["fit", "mtbf_hours"], rows)
     produced["mtbf"] = rows
+
+    echo("scheme study: every registered scheme "
+         "(perf / recovery / UDR)")
+    from repro.schemes import (
+        STUDY_CSV_HEADER,
+        run_scheme_study,
+        study_report,
+    )
+
+    study = run_scheme_study(
+        workload=("hashmap", (), {
+            "footprint_bytes": 2 * MB,
+            "num_refs": 2_000 if quick else 4_000,
+        }),
+    )
+    rows = study_report(study)
+    export_csv(outdir / "scheme_study.csv", list(STUDY_CSV_HEADER), rows)
+    produced["scheme_study"] = rows
 
     echo(f"wrote {len(produced)} figure CSVs to {outdir}")
     return produced

@@ -1,0 +1,47 @@
+"""First-class persistence-security schemes and their registry.
+
+Importing this package registers the builtin schemes: the paper's
+``baseline`` / ``src`` / ``sac`` trio plus the related-work ``triad``
+(Triad-NVM) and ``phoenix`` designs.  Out-of-tree schemes register via
+:func:`register_scheme`; see EXPERIMENTS.md "Comparing
+persistence-security schemes".
+"""
+
+from repro.schemes.base import (
+    NON_SECURE_SCHEMES,
+    PAPER_SCHEMES,
+    SecurityScheme,
+    all_schemes,
+    reference_scheme,
+    register_scheme,
+    resolve_scheme,
+    scheme_names,
+    unregister_scheme,
+)
+
+# Importing the modules performs the builtin registrations.
+from repro.schemes import soteria as _soteria  # noqa: F401
+from repro.schemes import triad as _triad  # noqa: F401
+from repro.schemes import phoenix as _phoenix  # noqa: F401
+from repro.schemes.study import (
+    SCHEME_STUDY_SCHEMA,
+    STUDY_CSV_HEADER,
+    run_scheme_study,
+    study_report,
+)
+
+__all__ = [
+    "NON_SECURE_SCHEMES",
+    "PAPER_SCHEMES",
+    "SCHEME_STUDY_SCHEMA",
+    "STUDY_CSV_HEADER",
+    "SecurityScheme",
+    "all_schemes",
+    "reference_scheme",
+    "register_scheme",
+    "resolve_scheme",
+    "run_scheme_study",
+    "scheme_names",
+    "study_report",
+    "unregister_scheme",
+]

@@ -1,0 +1,40 @@
+"""Phoenix: a persistently-secure counter tree with batched updates.
+
+Phoenix (Alwadi et al.) keeps the Tree of Counters itself persistently
+secure without any shadow table: every ``persist_batch`` data writes
+the controller flushes its whole dirty metadata estate to NVM, so no
+persisted node is ever more than one batch window stale.  Recovery is
+anchored at the always-fresh on-chip root and walks the tree top-down,
+advancing each stale persisted parent slot by trial until the persisted
+child's seal verifies (a parent slot only increments when that child
+persists, so the persisted child's seal authenticates the parent's
+*true* current value), finishing with Osiris minor-counter trials
+against the write-through data MACs.
+
+Relative to Anubis tracking this removes the per-update shadow write
+from the hot path entirely; relative to lazy-only operation it bounds
+recovery work to one bounded trial search per tree edge instead of a
+whole-memory scan.
+"""
+
+from __future__ import annotations
+
+from repro.controller.policy import CloningPolicy
+from repro.controller.shadow import AnubisShadowCodec
+from repro.schemes.base import SecurityScheme, register_scheme
+
+PHOENIX = register_scheme(SecurityScheme(
+    name="phoenix",
+    description=(
+        "Phoenix: persistently-secure ToC, no shadow writes; all dirty "
+        "metadata flushes every 8 data writes, recovery reseals the "
+        "tree top-down from the on-chip root by bounded trials."
+    ),
+    clone_policy=CloningPolicy,
+    shadow_codec=AnubisShadowCodec,
+    update_policy="batched",
+    integrity_mode="toc",
+    persist_batch=8,
+    recovery="phoenix",
+    builtin=True,
+))

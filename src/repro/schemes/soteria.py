@@ -1,0 +1,49 @@
+"""The paper's three schemes, registered (Section 5.2 / Table 2).
+
+These registrations must build *exactly* the controllers the historical
+``make_controller`` if/elif built — the alias-stability golden test pins
+their ``SimResult`` bit-for-bit — so none of them pins an update policy
+or integrity mode: those stay caller knobs, as they always were.
+"""
+
+from __future__ import annotations
+
+from repro.controller.policy import CloningPolicy
+from repro.controller.shadow import AnubisShadowCodec
+from repro.core.cloning import AggressiveCloning, RelaxedCloning
+from repro.core.shadow_dup import SoteriaShadowCodec
+from repro.schemes.base import SecurityScheme, register_scheme
+
+BASELINE = register_scheme(SecurityScheme(
+    name="baseline",
+    description=(
+        "Improved-security NVM per the state of the art: ToC + lazy "
+        "update + Anubis tracking, no clones (the reference point)."
+    ),
+    clone_policy=CloningPolicy,
+    shadow_codec=AnubisShadowCodec,
+    builtin=True,
+    is_reference=True,
+))
+
+SRC = register_scheme(SecurityScheme(
+    name="src",
+    description=(
+        "Soteria Relaxed Cloning: every metadata node duplicated once, "
+        "plus the duplicated shadow-entry format (Figure 8b)."
+    ),
+    clone_policy=RelaxedCloning,
+    shadow_codec=SoteriaShadowCodec,
+    builtin=True,
+))
+
+SAC = register_scheme(SecurityScheme(
+    name="sac",
+    description=(
+        "Soteria Aggressive Cloning: upper tree levels duplicated more "
+        "(Table 2), plus the duplicated shadow-entry format."
+    ),
+    clone_policy=AggressiveCloning,
+    shadow_codec=SoteriaShadowCodec,
+    builtin=True,
+))

@@ -1,0 +1,40 @@
+"""Triad-NVM: selective persistence of the lowest N tree levels.
+
+Triad-NVM (Awad et al., ISCA 2019) strictly persists encryption
+counters and the bottom ``persist_levels`` Merkle-tree levels on every
+write, and relaxes the rest: upper levels live only in the cache and
+are *regenerated* from the persisted levels after a crash.  Relative to
+full-eager persistence this bounds the write amplification to N blocks
+per write; relative to lazy+Osiris it removes every data-MAC trial from
+recovery (the persisted levels are never stale), trading steady-state
+write traffic for near-instant recovery.
+
+Our rendition composes with the recomputable BMT integrity mode: the
+``selective`` update policy persists the counter plus dirty branch
+ancestors up to level N each write, and
+:class:`~repro.recovery.TriadRecovery` regenerates levels N+1..root
+against the always-fresh on-chip root.
+"""
+
+from __future__ import annotations
+
+from repro.controller.policy import CloningPolicy
+from repro.controller.shadow import AnubisShadowCodec
+from repro.schemes.base import SecurityScheme, register_scheme
+
+TRIAD = register_scheme(SecurityScheme(
+    name="triad",
+    description=(
+        "Triad-NVM: BMT integrity with strict persistence of the "
+        "bottom 2 tree levels per write; upper levels regenerate at "
+        "recovery (high write traffic, no recovery trials)."
+    ),
+    clone_policy=CloningPolicy,
+    shadow_codec=AnubisShadowCodec,
+    update_policy="selective",
+    integrity_mode="bmt",
+    persist_levels=2,
+    recovery="triad",
+    aliases=("triad-nvm",),
+    builtin=True,
+))

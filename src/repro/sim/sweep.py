@@ -64,6 +64,7 @@ from repro.runtime import (
     sweep_fingerprint,
 )
 from repro.runtime.supervision import CRASHED, TIMEOUT, CellState
+from repro.schemes import PAPER_SCHEMES
 from repro.sim.config import SystemConfig
 from repro.sim.engine import default_engine
 from repro.sim.system import SecureSystem, _workload_seed
@@ -714,7 +715,7 @@ def sweep_report(engine: SweepEngine, outcomes, *, kind: str = "sweep",
 #: secure controller — the cell where the vectorized engine shows its
 #: full speedup.
 BENCH_WORKLOADS = ("ctree", "hashmap", "ubench", "mcf", "gcc")
-BENCH_SCHEMES = ("baseline", "src", "sac")
+BENCH_SCHEMES = PAPER_SCHEMES
 
 #: The gcc cell's pinned shape: a 512 KiB footprint keeps its working
 #: set (footprint/16) L1-sized, and 5x the grid refs amortizes per-run

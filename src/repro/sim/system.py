@@ -29,6 +29,7 @@ import numpy as np
 from repro.cache import CacheHierarchy
 from repro.controller import SecureMemoryController
 from repro.core import make_controller
+from repro.schemes import PAPER_SCHEMES, resolve_scheme
 from repro.sim.config import SystemConfig
 from repro.sim.stats import SimResult
 from repro.telemetry import MetricRegistry
@@ -63,8 +64,12 @@ class SecureSystem:
             levels=self.config.cache_levels, registry=self.registry
         )
         if controller is None:
+            # Canonicalise through the registry so results label schemes
+            # by their registered names even when built via an alias.
+            resolved = resolve_scheme(scheme)
+            self.scheme = resolved.name
             controller = make_controller(
-                scheme,
+                resolved,
                 self.config.memory_bytes,
                 metadata_cache_bytes=self.config.metadata_cache_bytes,
                 metadata_ways=self.config.metadata_ways,
@@ -296,7 +301,7 @@ def _workload_seed(seed: int) -> int:
     return seed + 1
 
 
-def run_schemes(workload_factory, schemes=("baseline", "src", "sac"),
+def run_schemes(workload_factory, schemes=PAPER_SCHEMES,
                 config: SystemConfig = None, seed: int = 0,
                 jobs: int = 1) -> dict:
     """Run one workload on several schemes with identical traces.

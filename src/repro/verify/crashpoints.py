@@ -39,8 +39,9 @@ from repro.controller import (
     RecoveryError,
     SecureMemoryError,
 )
-from repro.core.soteria import SCHEMES, make_controller
-from repro.recovery import OsirisRecovery, RecoveryManager
+from repro.core import make_controller
+from repro.recovery import recover_image
+from repro.schemes import resolve_scheme
 from repro.verify.oracle import Oracle
 
 KB = 1024
@@ -67,8 +68,14 @@ class CrashPointConfig:
     recover_twice: bool = False       # crash again right after recovery
 
     def __post_init__(self):
-        if self.scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {self.scheme!r}")
+        scheme = resolve_scheme(self.scheme)
+        object.__setattr__(self, "scheme", scheme.name)
+        # A scheme that pins its integrity mode (triad -> bmt, phoenix
+        # -> toc) wins over the config knob; the harness then reports
+        # the mode the controller actually ran under.
+        if scheme.integrity_mode:
+            object.__setattr__(self, "integrity_mode",
+                               scheme.integrity_mode)
         if self.integrity_mode not in ("toc", "bmt"):
             raise ValueError("integrity_mode must be 'toc' or 'bmt'")
         if self.ops < 1 or self.num_points < 1:
@@ -114,12 +121,6 @@ class CrashPointResult:
             "silent": list(self.silent),
             "ok": self.ok,
         }
-
-
-def _recover(image):
-    if image.integrity_mode == "toc":
-        return RecoveryManager(image).recover()
-    return OsirisRecovery(image).recover()
 
 
 def _run_point(config: CrashPointConfig, point: int, crash_op: int) -> CrashPointResult:
@@ -171,9 +172,9 @@ def _run_point(config: CrashPointConfig, point: int, crash_op: int) -> CrashPoin
 
     image = ctrl.crash()
     try:
-        recovered_ctrl, _ = _recover(image)
+        recovered_ctrl, _ = recover_image(image)
         if config.recover_twice:
-            recovered_ctrl, _ = _recover(recovered_ctrl.crash())
+            recovered_ctrl, _ = recover_image(recovered_ctrl.crash())
     except (RecoveryError, SecureMemoryError) as exc:
         result.recovery = f"failed:{type(exc).__name__}"
         result.reported_lost = len(mirror)

@@ -36,9 +36,10 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.controller import RecoveryError, SecureMemoryError
-from repro.core.soteria import SCHEMES, make_controller
+from repro.core import make_controller
 from repro.faults.injector import INJECTION_TARGETS, region_addresses
-from repro.recovery import OsirisRecovery, RecoveryManager
+from repro.recovery import recover_image
+from repro.schemes import resolve_scheme
 from repro.verify import VerificationError, VerifySession
 
 KB = 1024
@@ -60,8 +61,12 @@ class ReplayConfig:
     seed: int = 0
 
     def __post_init__(self):
-        if self.scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {self.scheme!r}")
+        scheme = resolve_scheme(self.scheme)
+        object.__setattr__(self, "scheme", scheme.name)
+        # A scheme that pins its integrity mode wins over the knob.
+        if scheme.integrity_mode:
+            object.__setattr__(self, "integrity_mode",
+                               scheme.integrity_mode)
         if self.integrity_mode not in ("toc", "bmt"):
             raise ValueError("integrity_mode must be 'toc' or 'bmt'")
 
@@ -169,10 +174,7 @@ class ReplayContext:
         self.session.detach()
         image = self.controller.crash()
         try:
-            if image.integrity_mode == "toc":
-                recovered, _ = RecoveryManager(image).recover()
-            else:
-                recovered, _ = OsirisRecovery(image).recover()
+            recovered, _ = recover_image(image)
         except (RecoveryError, SecureMemoryError) as exc:
             if not self.faults_injected:
                 raise VerificationError(

@@ -123,7 +123,11 @@ class TestExport:
             "fig03_expected_loss", "fig04_eviction_levels",
             "fig10a_performance", "fig10b_writes", "fig10c_evictions",
             "fig11_udr", "fig12_loss_8tb", "mtbf_calibration",
+            "scheme_study",
         }
         written = {p.stem for p in tmp_path.glob("*.csv")}
         assert expected == written
-        assert len(produced) == 8
+        assert len(produced) == 9
+        study_rows = produced["scheme_study"]
+        from repro.schemes import scheme_names
+        assert {row[0] for row in study_rows} == set(scheme_names())

@@ -57,6 +57,45 @@ class TestCleanCrashPoints:
         assert report["outcomes"]["reported_lost"] == 0
 
 
+class TestNewSchemeCrashPoints:
+    """Triad-NVM and Phoenix under the same trichotomy obligations."""
+
+    @pytest.mark.parametrize("scheme", ["triad", "phoenix"])
+    def test_clean_points_lose_nothing(self, scheme):
+        """Systematic clean power cuts must recover every write under
+        the scheme's own recovery procedure (triad regeneration above
+        the persisted levels; phoenix top-down reseal)."""
+        report = run_crash_points(quick_config(scheme=scheme))
+        assert report["ok"]
+        assert report["outcomes"]["reported_lost"] == 0
+        assert report["outcomes"]["quarantined"] == 0
+        assert report["silent_corruption"] == 0
+        assert report["recovery_failures"] == 0
+        assert report["outcomes"]["recovered"] > 0
+
+    def test_scheme_pins_integrity_mode(self):
+        """The scheme's pinned mode wins over the config knob, and the
+        report records the mode the controller actually ran under."""
+        config = quick_config(scheme="triad", integrity_mode="toc",
+                              num_points=4)
+        assert config.integrity_mode == "bmt"
+        config = quick_config(scheme="phoenix", integrity_mode="bmt",
+                              num_points=4)
+        assert config.integrity_mode == "toc"
+
+    @pytest.mark.parametrize("scheme", ["triad", "phoenix"])
+    def test_faulted_points_never_lie(self, scheme):
+        """Faults at the instant of the cut may cost data — but only as
+        typed loss or quarantine, never silently-wrong plaintext."""
+        report = run_crash_points(
+            quick_config(scheme=scheme, num_points=24, fault_every=3,
+                         faults_per_point=2)
+        )
+        assert report["ok"]
+        assert report["silent_corruption"] == 0
+        assert report["oracle_divergences"] == 0
+
+
 class TestFaultedCrashPoints:
     def test_faulted_points_never_lie(self):
         """With faults landing before the cut, loss and quarantine are
