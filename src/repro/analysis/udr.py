@@ -27,13 +27,22 @@ from repro.analysis.expected_loss import level_inventory
 
 @dataclass
 class UdrResult:
-    """UDR for one (scheme, failure-rate) point."""
+    """UDR for one (scheme, failure-rate) point.
+
+    ``half_width`` is nonzero only when the node-loss probabilities came
+    with Monte-Carlo CI half-widths (see ``p_multi_due_half_width``);
+    UDR is linear in those probabilities, so per-depth errors propagate
+    linearly — exact for levels sharing one clone depth (their
+    estimates are the same random variable), conservative across
+    different depths (treated as perfectly correlated).
+    """
 
     scheme: str
     p_block_due: float
     udr: float
     unverifiable_bytes: float
     per_level: dict = field(default_factory=dict)
+    half_width: float = 0.0
 
     def resilience_vs(self, other: "UdrResult") -> float:
         """How many times more resilient this scheme is than ``other``
@@ -49,20 +58,26 @@ def compute_udr(
     clone_depths: dict = None,
     scheme: str = "baseline",
     p_multi_due: dict = None,
+    p_multi_due_half_width: dict = None,
 ) -> UdrResult:
     """Expected UDR given a per-block uncorrectability probability.
 
     ``clone_depths`` maps level -> total copies (default 1 everywhere).
-    ``p_multi_due`` (from :class:`~repro.faults.FaultSimResult`) gives
-    P(d independent locations all uncorrectable); when supplied it
-    replaces the independence approximation ``p_block_due ** d`` and
-    captures spatially-correlated DUE regions that can take out a node
-    and its clones in one event.
+    ``p_multi_due`` (from :class:`~repro.faults.FaultSimResult` or a
+    :class:`~repro.faults.McCampaignResult`) gives P(d independent
+    locations all uncorrectable); when supplied it replaces the
+    independence approximation ``p_block_due ** d`` and captures
+    spatially-correlated DUE regions that can take out a node and its
+    clones in one event.  ``p_multi_due_half_width`` (same keys, from a
+    streaming MC campaign) propagates those CI half-widths to
+    ``UdrResult.half_width`` (linear in the moment estimates; see
+    :class:`UdrResult`).
     """
     if not 0 <= p_block_due <= 1:
         raise ValueError("p_block_due must be a probability")
     clone_depths = clone_depths or {}
     unverifiable = 0.0
+    half_width_bytes = 0.0
     per_level = {}
 
     def p_all_lost(depth: int) -> float:
@@ -76,12 +91,16 @@ def compute_udr(
         level_bytes = info.nodes * p_node_lost * info.coverage_bytes
         per_level[info.level] = level_bytes
         unverifiable += level_bytes
+        if p_multi_due_half_width is not None:
+            hw = p_multi_due_half_width.get(depth, 0.0)
+            half_width_bytes += info.nodes * hw * info.coverage_bytes
     return UdrResult(
         scheme=scheme,
         p_block_due=p_block_due,
         udr=unverifiable / data_bytes,
         unverifiable_bytes=unverifiable,
         per_level=per_level,
+        half_width=half_width_bytes / data_bytes,
     )
 
 

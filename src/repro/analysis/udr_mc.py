@@ -86,13 +86,19 @@ def extent_hits_in_range(extent, geometry, rank: int, lo: int, hi: int) -> np.nd
 
 @dataclass
 class MonteCarloUdr:
-    """Outcome of a direct Monte-Carlo UDR campaign."""
+    """Outcome of a direct Monte-Carlo UDR campaign.
+
+    ``udr_half_width`` is a delta-method 95% CI half-width combining,
+    per fault count, the sampling variance of the conditional loss mean
+    with the binomial variance of the rejection-sampling DUE rate.
+    """
 
     udr: float
     l_error_fraction: float          # data-region DUE bytes / data bytes
     trials_with_due: int
     truncated: int
     by_region: dict = field(default_factory=dict)
+    udr_half_width: float = 0.0
 
 
 def build_dimm_map(geometry, clone_depths=None, shadow_entries: int = 8192) -> AddressMap:
@@ -234,6 +240,7 @@ def monte_carlo_udr(
 
     expected_unverifiable = 0.0
     expected_data_error = 0.0
+    unverifiable_var = 0.0
     trials_with_due = 0
     truncated = 0
     by_region = {}
@@ -249,6 +256,7 @@ def monte_carlo_udr(
         attempts = 0
         scored = 0
         unverifiable_sum = 0.0
+        unverifiable_sumsq = 0.0
         data_error_sum = 0.0
         while scored < due_events_per_k and attempts < max_attempts_per_k:
             attempts += 1
@@ -304,14 +312,27 @@ def monte_carlo_udr(
             if data_hits:
                 counts["data"] = counts.get("data", 0) + data_hits
             unverifiable_sum += unverifiable
+            unverifiable_sumsq += float(unverifiable) ** 2
             data_error_sum += data_hits * CACHELINE_BYTES
             for name, count in counts.items():
                 by_region[name] = by_region.get(name, 0) + count
         if not scored:
             continue
         p_due = scored / attempts
-        expected_unverifiable += pmf * p_due * unverifiable_sum / scored
+        mean_loss = unverifiable_sum / scored
+        expected_unverifiable += pmf * p_due * mean_loss
         expected_data_error += pmf * p_due * data_error_sum / scored
+        # Delta-method variance of pmf * p_hat * m_hat: conditional
+        # loss-mean sampling noise + binomial rejection-rate noise.
+        var_loss = (
+            max(0.0, unverifiable_sumsq / scored - mean_loss**2)
+            * scored / (scored - 1)
+            if scored > 1 else 0.0
+        )
+        var_p = p_due * (1.0 - p_due) / attempts
+        unverifiable_var += pmf * pmf * (
+            p_due * p_due * var_loss / scored + mean_loss**2 * var_p
+        )
 
     return MonteCarloUdr(
         udr=expected_unverifiable / amap.data_bytes,
@@ -319,4 +340,5 @@ def monte_carlo_udr(
         trials_with_due=trials_with_due,
         truncated=truncated,
         by_region=by_region,
+        udr_half_width=1.96 * math.sqrt(unverifiable_var) / amap.data_bytes,
     )

@@ -9,8 +9,12 @@ The main entry points:
   leg; emits ``BENCH_perf.json`` (the repo's perf trajectory);
 * ``engine-diff`` — differential scalar-vs-vector engine equivalence
   suite (corpus + pinned sweeps + chaos fault injection);
+* ``mc-diff``     — differential vector-vs-scalar FaultSim equivalence
+  suite (RNG, samplers, trial evaluation, results, batching);
 * ``reliability`` — fault simulation + UDR across FIT rates
-  (Figure 11/12 style);
+  (Figure 11/12 style); ``--empirical``/``--target-ci`` switch to the
+  streaming Monte-Carlo campaign with confidence intervals
+  (``udr_mc/v1``), checkpointable and resumable at 1e8-trial scale;
 * ``crash-test``  — functional crash/recovery exercise with optional
   shadow-entry corruption.
 
@@ -113,6 +117,11 @@ def _finish_sweep(engine, outcomes, args, kind: str, code: int) -> int:
                  if (args.resume or args.checkpoint) else ""))
         return EXIT_INTERRUPTED
     return code
+
+
+def _parse_count(text: str) -> int:
+    """'1e8' / '20000' -> int (scientific notation for big campaigns)."""
+    return int(float(text))
 
 
 def _parse_size(text: str) -> int:
@@ -255,7 +264,84 @@ def cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _reliability_empirical(args) -> int:
+    """Streaming MC campaign(s): per-fit udr_mc/v1 with CI half-widths."""
+    from pathlib import Path
+
+    from repro.faults import (
+        importance_distribution,
+        mc_report,
+        run_mc_campaign,
+    )
+
+    size = _parse_size(args.size)
+    runtime = _runtime_kwargs(args)
+    reports = []
+    interrupted = False
+    for fit in args.fits:
+        config = FaultSimConfig(
+            fit_per_device=fit, trials=args.trials, repair=args.ecc,
+            seed=args.seed,
+        )
+        importance = (
+            importance_distribution(config.relative_rates)
+            if args.importance == "tree" else None
+        )
+        checkpoint = runtime["checkpoint"]
+        if checkpoint is not None:
+            checkpoint = str(Path(checkpoint) / f"fit-{fit:g}")
+        result = run_mc_campaign(
+            config,
+            trials=args.trials,
+            batch_trials=args.batch_trials,
+            target_ci=args.target_ci,
+            importance=importance,
+            data_bytes=size,
+            engine=args.engine,
+            jobs=args.jobs,
+            checkpoint=checkpoint,
+            resume=runtime["resume"],
+            max_failures=runtime["max_failures"],
+        )
+        report = mc_report(result)
+        reports.append(report)
+        flag = (" INTERRUPTED" if result.interrupted
+                else (" converged" if result.converged else ""))
+        print(f"FIT {fit:g}: {result.total_trials} trials in "
+              f"{result.waves} wave(s){flag}")
+        print(f"  p_block_due   {result.p_block_due:.4e} "
+              f"+- {result.p_block_due_half_width:.1e}")
+        print(f"  P(any DUE)    {result.due_probability:.4e} "
+              f"+- {result.due_probability_half_width:.1e}")
+        if result.approximated_ranks:
+            print(f"  approximated_ranks {result.approximated_ranks} "
+                  "(additive union upper bound)")
+        print(f"  {'scheme':<10} {'empirical UDR':>14} {'+-':>10} "
+              f"{'analytic':>12}")
+        for name, entry in report["schemes"].items():
+            print(f"  {name:<10} {entry['udr']:>14.4e} "
+                  f"{entry['half_width']:>10.1e} {entry['analytic']:>12.4e}")
+        if result.interrupted:
+            interrupted = True
+            break
+    if args.out:
+        atomic_write_json(
+            args.out,
+            {"schema": reports[0]["schema"] if reports else "udr_mc/v1",
+             "campaigns": reports},
+        )
+        print(f"wrote {args.out}")
+    if interrupted:
+        print("INTERRUPTED: completed batches are journaled"
+              + (f"; resume with --resume {args.resume or args.checkpoint}"
+                 if (args.resume or args.checkpoint) else ""))
+        return EXIT_INTERRUPTED
+    return 0
+
+
 def cmd_reliability(args) -> int:
+    if args.empirical or args.target_ci is not None:
+        return _reliability_empirical(args)
     size = _parse_size(args.size)
     cells = [
         (fit, args.trials, args.ecc, args.seed, size) for fit in args.fits
@@ -551,6 +637,30 @@ def cmd_engine_diff(args) -> int:
     return 0 if report["identical"] else 1
 
 
+def cmd_mc_diff(args) -> int:
+    """Differential vector-vs-scalar FaultSim equivalence suite."""
+    from repro.verify.mc_diff import run_mc_diff
+
+    def progress(row):
+        status = "ok" if row["identical"] else "MISMATCH"
+        detail = (
+            f"  differs in: {', '.join(row['mismatched'])}"
+            if row["mismatched"] else ""
+        )
+        print(f"  {row['name']:<40} {status}{detail}")
+
+    report = run_mc_diff(
+        trials=args.trials, quick=args.quick, progress=progress
+    )
+    if args.out:
+        atomic_write_json(args.out, report)
+        print(f"wrote {args.out}")
+    verdict = "BIT-IDENTICAL" if report["identical"] else "DIVERGED"
+    print(f"MC engines {verdict} across {report['total']} cases "
+          "(rng + sampler + trial + result + batching + importance)")
+    return 0 if report["identical"] else 1
+
+
 def cmd_figures(args) -> int:
     from repro.figures import run_all
 
@@ -678,24 +788,48 @@ def cmd_compare_schemes(args) -> int:
         p_block_due=args.p_block_due,
         seed=args.seed,
         progress=progress,
+        empirical=not args.no_empirical,
+        empirical_trials=args.empirical_trials,
+        empirical_fit=args.empirical_fit,
     )
-    print(f"{'scheme':<10} {'slowdown':>9} {'write ovh':>10} "
-          f"{'recovery':>12} {'rec ok':>7} {'UDR':>10} {'resil.':>8}")
+    has_empirical = study.get("empirical") is not None
+    header = (f"{'scheme':<10} {'slowdown':>9} {'write ovh':>10} "
+              f"{'recovery':>12} {'rec ok':>7} {'UDR':>10} {'resil.':>8}")
+    if has_empirical:
+        header += f" {'empirical UDR':>14} {'+-':>9}"
+    print(header)
     for row in study_report(study):
-        name, slowdown, write_ovh, recovery_ns, ok, udr, resil = row
+        name, slowdown, write_ovh, recovery_ns, ok, udr, resil = row[:7]
         recovery = ("-" if recovery_ns is None
                     else f"{recovery_ns / 1000:.1f}us")
         resil_text = "inf" if resil == float("inf") else f"{resil:.1f}x"
-        print(f"{name:<10} {slowdown * 100:>8.2f}% {write_ovh * 100:>9.2f}% "
-              f"{recovery:>12} {'yes' if ok else 'NO':>7} "
-              f"{udr:>10.3e} {resil_text:>8}")
+        line = (f"{name:<10} {slowdown * 100:>8.2f}% "
+                f"{write_ovh * 100:>9.2f}% "
+                f"{recovery:>12} {'yes' if ok else 'NO':>7} "
+                f"{udr:>10.3e} {resil_text:>8}")
+        if has_empirical and len(row) > 7:
+            empirical_udr, half_width = row[7], row[8]
+            line += f" {empirical_udr:>14.3e} {half_width:>9.1e}"
+        print(line)
     print(f"reference scheme: {study['reference']}")
     print(f"clean-cut recovery: {'OK' if study['ok'] else 'FAILED'}")
+    if has_empirical:
+        emp = study["empirical"]
+        contained = all(
+            entry["analytic_in_ci"] for entry in emp["schemes"].values()
+        )
+        print(f"empirical UDR: {emp['total_trials']} trials at "
+              f"{emp['config']['fit_per_device']:g} FIT/device "
+              f"(95% CI); analytic inside every CI: "
+              f"{'yes' if contained else 'NO'}")
     if args.out:
         atomic_write_json(args.out, study)
         print(f"wrote {args.out}")
     if args.csv:
-        export_csv(args.csv, list(STUDY_CSV_HEADER), study_report(study))
+        header = list(STUDY_CSV_HEADER)
+        if not has_empirical:
+            header = header[:7]
+        export_csv(args.csv, header, study_report(study))
         print(f"wrote {args.csv}")
     return 0 if study["ok"] else 1
 
@@ -753,7 +887,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reliability", help="FaultSim + UDR sweep")
     p.add_argument("--size", default="1tb")
     p.add_argument("--fits", type=float, nargs="+", default=[10, 40, 80])
-    p.add_argument("--trials", type=int, default=20_000)
+    p.add_argument("--trials", type=_parse_count, default=20_000,
+                   help="trial budget; scientific notation OK (1e8)")
     p.add_argument("--ecc", default="chipkill",
                    choices=["chipkill", "chipkill2", "secded", "none"])
     p.add_argument("--decompose", action="store_true",
@@ -762,8 +897,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Monte-Carlo seed (same seed -> same table)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes, one FIT point per cell")
+    p.add_argument("--empirical", action="store_true",
+                   help="streaming MC campaign (udr_mc/v1): empirical "
+                        "UDR with CI half-widths instead of the "
+                        "analytic sweep")
+    p.add_argument("--target-ci", type=float, default=None, metavar="HW",
+                   help="stop each campaign once the p_block_due CI "
+                        "half-width drops below HW (implies --empirical)")
+    p.add_argument("--batch-trials", type=_parse_count, default=4096,
+                   help="trials per checkpointable batch (empirical mode)")
+    p.add_argument("--importance", default="tree",
+                   choices=["off", "tree"],
+                   help="importance sampling: oversample upper-tree-"
+                        "node loss classes with exact reweighting "
+                        "(default), or plain sampling (off)")
+    p.add_argument("--engine", default=None,
+                   choices=["vector", "scalar"],
+                   help="MC engine for --empirical (default: "
+                        "REPRO_MC_ENGINE env override, then the "
+                        "vectorized engine; the two are bit-identical "
+                        "-- see repro mc-diff)")
     p.add_argument("--out", default=None,
-                   help="write the sweep/v1 JSON report here")
+                   help="write the sweep/v1 (or udr_mc/v1) JSON report")
     _add_runtime_args(p)
     p.set_defaults(func=cmd_reliability)
 
@@ -848,6 +1003,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_engine_diff)
 
     p = sub.add_parser(
+        "mc-diff",
+        help="prove vector-vs-scalar FaultSim bit-equality (RNG, "
+             "sampler, per-trial DUE regions, end-to-end results, "
+             "batching, importance weights)",
+    )
+    p.add_argument("--trials", type=_parse_count, default=1500,
+                   help="trials per case (scientific notation OK)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized subset of the pinned corpus")
+    p.add_argument("--out", default=None,
+                   help="write the mc_diff/v1 JSON report here")
+    p.set_defaults(func=cmd_mc_diff)
+
+    p = sub.add_parser(
         "metrics",
         help="telemetry metric manifest (schema-stamped, sorted JSON)",
     )
@@ -883,6 +1052,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2021)
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-stage progress lines")
+    p.add_argument("--empirical-trials", type=_parse_count, default=12_000,
+                   help="MC trial budget for the empirical-UDR column")
+    p.add_argument("--empirical-fit", type=float, default=80.0,
+                   help="FIT/device for the empirical-UDR campaign")
+    p.add_argument("--no-empirical", action="store_true",
+                   help="skip the empirical-UDR campaign column")
     p.add_argument("--out", default=None,
                    help="write the scheme_study/v1 JSON report here")
     p.add_argument("--csv", default=None,

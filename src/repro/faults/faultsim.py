@@ -16,6 +16,14 @@ fixed number of trials *conditioned on each k* and combines
 
 This yields well-resolved estimates of per-block uncorrectability even
 when the absolute probability is 1e-9 — the regime of Figure 11.
+
+Trials are executed by :mod:`repro.faults.mc`, which samples whole
+batches as numpy arrays from a counter-based RNG and evaluates the ECC
+model vectorized.  The scalar reference engine (same RNG, the original
+object model per trial) stays available via ``run(engine="scalar")`` or
+``REPRO_MC_ENGINE=scalar``; both engines reduce each trial to the same
+integers and share one aggregation, so they are bit-identical — a claim
+``repro mc-diff`` proves on a pinned corpus.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from itertools import combinations
 
 import numpy as np
 
+from repro.faults import mc
 from repro.faults.config import FaultSimConfig
 from repro.faults.ecc import make_ecc
 from repro.faults.fault_model import sample_fault
@@ -178,11 +187,16 @@ class FaultSimulator:
             return 3
         return 1
 
-    def run(self, trials_per_k: int = None) -> FaultSimResult:
+    def run(self, trials_per_k: int = None, engine: str = None) -> FaultSimResult:
         """Run the campaign; ``trials_per_k`` defaults to
-        ``config.trials / MAX_FAULTS`` conditioned trials per bucket."""
+        ``config.trials / MAX_FAULTS`` conditioned trials per bucket.
+
+        ``engine`` selects the batched vector core (default) or the
+        scalar reference loop (``"scalar"``); both consume the same
+        counter-based random streams and produce bit-identical results.
+        """
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        engine = mc.resolve_engine(engine)
         if trials_per_k is None:
             trials_per_k = max(200, config.trials // self.MAX_FAULTS)
         self.union_approximations = 0
@@ -195,33 +209,18 @@ class FaultSimulator:
         cross_moments = {d: 0.0 for d in range(1, max_depth + 1)}
         by_fault_count = {}
         for k in range(self._min_faults_for_due(), self.MAX_FAULTS + 1):
-            pmf = self._poisson_pmf(k, mean)
-            if k == self.MAX_FAULTS:
-                # Fold the tail in at the last bucket's conditional rate.
-                pmf = 1.0 - sum(
-                    self._poisson_pmf(j, mean) for j in range(self.MAX_FAULTS)
-                )
+            pmf = mc.bucket_pmf(k, mean, self.MAX_FAULTS)
             if pmf <= 0:
                 continue
-            blocks_sum = 0
-            due_count = 0
-            moment_sums = {d: 0.0 for d in moments}
-            cross_sums = {d: 0.0 for d in moments}
-            blocks_per_rank = config.geometry.blocks_per_rank
-            ranks = config.geometry.ranks
-            for _ in range(trials_per_k):
-                blocks, due, per_rank = self.trial(k, rng)
-                blocks_sum += blocks
-                due_count += due
-                fraction = blocks / total_blocks
-                rank_fractions = [u / blocks_per_rank for u in per_rank]
-                power = 1.0
-                cross = 1.0
-                for d in moment_sums:
-                    power *= fraction
-                    moment_sums[d] += power
-                    cross *= rank_fractions[(d - 1) % ranks]
-                    cross_sums[d] += cross
+            u_total, per_rank, _ = mc.batch_outputs(
+                config, k, 0, trials_per_k, engine=engine,
+                on_approximation=self._note_approximation,
+            )
+            blocks_sum, due_count, moment_sums, cross_sums = (
+                mc.aggregate_outputs(
+                    u_total, per_rank, config.geometry, max_depth
+                )
+            )
             mean_blocks = blocks_sum / trials_per_k
             mean_due = due_count / trials_per_k
             by_fault_count[k] = {

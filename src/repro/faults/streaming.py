@@ -1,0 +1,241 @@
+"""Streaming estimators for large Monte-Carlo reliability campaigns.
+
+A 1e8-trial campaign cannot hold per-trial samples in memory, and a
+checkpointed campaign must produce *bit-identical* estimates whether its
+batches arrive in one uninterrupted run, across a SIGTERM/resume
+boundary, or merged from parallel workers in any order.  This module
+provides the two layers that make that possible:
+
+* :class:`WelfordState` — classic online mean/variance with Chan's
+  parallel merge rule, for consumers that genuinely stream one value at
+  a time.
+* :class:`McBatchStat` / :class:`McEstimatorState` — the campaign
+  accumulator.  Each batch contributes exact *per-batch sums* (computed
+  once, deterministically, from the batch arrays), keyed by
+  ``(k, batch_index)``.  Finalisation sorts the keys and combines the
+  per-batch sums with :func:`math.fsum`, which is exact for float
+  addition — so the final estimate is a pure function of the *set* of
+  batches, independent of insertion or merge order.  That invariance is
+  what the Hypothesis property suite pins down.
+
+Confidence intervals come in two flavours: Wilson score intervals for
+binomial counts (per-k DUE fractions) and Wald/normal intervals driven
+by the sample variance (weighted means under importance sampling).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = [
+    "WelfordState",
+    "wilson_interval",
+    "wald_half_width",
+    "mean_and_variance",
+    "McBatchStat",
+    "McEstimatorState",
+]
+
+
+# ---------------------------------------------------------------------------
+# online mean / variance
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WelfordState:
+    """Online mean/variance (Welford 1962, Chan et al. 1983 merge).
+
+    ``update`` folds in one observation; ``merge`` combines two states
+    as if their observations had been seen by a single accumulator.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def update_batch(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(float(value))
+
+    def merge(self, other: "WelfordState") -> "WelfordState":
+        """Return a new state equivalent to seeing both streams."""
+        if other.count == 0:
+            return WelfordState(self.count, self.mean, self.m2)
+        if self.count == 0:
+            return WelfordState(other.count, other.mean, other.m2)
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / count
+        return WelfordState(count, mean, m2)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std_error(self) -> float:
+        if self.count < 1:
+            return 0.0
+        return math.sqrt(self.variance / self.count)
+
+
+# ---------------------------------------------------------------------------
+# confidence intervals
+# ---------------------------------------------------------------------------
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Behaves sensibly at the extremes (0 or ``trials`` successes) where
+    the naive Wald binomial interval collapses to zero width — exactly
+    the regime rare-event campaigns live in.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2.0 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def wald_half_width(variance: float, trials: int, z: float = 1.96) -> float:
+    """Half-width of the normal (Wald) CI for a sample mean."""
+    if trials <= 1 or variance <= 0.0:
+        return 0.0
+    return z * math.sqrt(variance / trials)
+
+
+def mean_and_variance(
+    total: float, total_sq: float, count: int
+) -> Tuple[float, float]:
+    """Sample mean and unbiased variance from (sum, sum-of-squares, n)."""
+    if count <= 0:
+        return (0.0, 0.0)
+    mean = total / count
+    if count < 2:
+        return (mean, 0.0)
+    variance = (total_sq - total * total / count) / (count - 1)
+    return (mean, max(0.0, variance))
+
+
+# ---------------------------------------------------------------------------
+# campaign batch statistics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class McBatchStat:
+    """Sufficient statistics for one Monte-Carlo batch.
+
+    Every float here is an exact, deterministically-computed per-batch
+    sum (``numpy.sum`` over the batch arrays, which numpy evaluates with
+    a fixed pairwise order for a given array).  ``sums``/``sumsq`` map a
+    statistic name (``"due"``, ``"blocks"``, ``"moment_<d>"``,
+    ``"cross_<d>"``, ``"scheme:<name>"``) to the batch sum of
+    ``weight * value`` and ``(weight * value)**2`` respectively, so
+    importance-sampled and direct batches share one representation
+    (direct sampling is simply ``weight == 1``).
+    """
+
+    k: int
+    batch_index: int
+    trials: int
+    due_count: int
+    approximated_ranks: int
+    weight_sum: float
+    weight_sumsq: float
+    sums: Mapping[str, float]
+    sumsq: Mapping[str, float]
+
+    def key(self) -> Tuple[int, int]:
+        return (self.k, self.batch_index)
+
+
+@dataclass
+class McEstimatorState:
+    """Merge-order-invariant accumulator of :class:`McBatchStat`.
+
+    Batches are keyed by ``(k, batch_index)``; adding the same batch
+    twice is a no-op, adding a *conflicting* batch under an existing key
+    is an error (it would silently corrupt a resumed campaign).
+    Aggregation sorts keys and uses :func:`math.fsum`, so any merge
+    order yields bitwise-identical results.
+    """
+
+    batches: Dict[Tuple[int, int], McBatchStat] = field(default_factory=dict)
+
+    def add(self, stat: McBatchStat) -> None:
+        existing = self.batches.get(stat.key())
+        if existing is not None:
+            if existing != stat:
+                raise ValueError(
+                    f"conflicting batch statistics for k={stat.k} "
+                    f"batch={stat.batch_index}"
+                )
+            return
+        self.batches[stat.key()] = stat
+
+    def merge(self, other: "McEstimatorState") -> "McEstimatorState":
+        merged = McEstimatorState(dict(self.batches))
+        for stat in other.batches.values():
+            merged.add(stat)
+        return merged
+
+    @property
+    def total_trials(self) -> int:
+        return sum(stat.trials for stat in self.batches.values())
+
+    def ks(self) -> Tuple[int, ...]:
+        return tuple(sorted({stat.k for stat in self.batches.values()}))
+
+    def per_k(self) -> Dict[int, Dict[str, object]]:
+        """Exact per-k aggregates, independent of batch insertion order.
+
+        Returns ``{k: {"trials", "batches", "due_count",
+        "approximated_ranks", "weight_sum", "weight_sumsq",
+        "sums": {name: float}, "sumsq": {name: float}}}``.
+        """
+        grouped: Dict[int, list] = {}
+        for key in sorted(self.batches):
+            grouped.setdefault(self.batches[key].k, []).append(self.batches[key])
+        out: Dict[int, Dict[str, object]] = {}
+        for k, stats in grouped.items():
+            names = sorted({name for s in stats for name in s.sums})
+            out[k] = {
+                "trials": sum(s.trials for s in stats),
+                "batches": len(stats),
+                "due_count": sum(s.due_count for s in stats),
+                "approximated_ranks": sum(s.approximated_ranks for s in stats),
+                "weight_sum": math.fsum(s.weight_sum for s in stats),
+                "weight_sumsq": math.fsum(s.weight_sumsq for s in stats),
+                "sums": {
+                    name: math.fsum(s.sums.get(name, 0.0) for s in stats)
+                    for name in names
+                },
+                "sumsq": {
+                    name: math.fsum(s.sumsq.get(name, 0.0) for s in stats)
+                    for name in names
+                },
+            }
+        return out

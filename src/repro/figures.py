@@ -182,6 +182,32 @@ def mtbf_rows(fits=FIT_SWEEP):
     return [(fit, mtbf_hours(fit)) for fit in fits]
 
 
+def mc_trajectory_rows(fit: float = 80.0, batch_trials: int = 2_000,
+                       max_waves: int = 6, seed: int = 2021):
+    """CI-vs-trials convergence of the streaming MC estimator:
+    (wave, trials, p_block_due, half_width, due_probability)."""
+    from repro.faults import importance_distribution, run_mc_campaign
+
+    config = FaultSimConfig(fit_per_device=fit, seed=seed)
+    result = run_mc_campaign(
+        config,
+        batch_trials=batch_trials,
+        max_waves=max_waves,
+        importance=importance_distribution(config.relative_rates),
+        schemes=(),
+    )
+    return [
+        (
+            point["wave"],
+            point["trials"],
+            point["p_block_due"],
+            point["half_width"],
+            point["due_probability"],
+        )
+        for point in result.trajectory
+    ]
+
+
 # ---------------------------------------------------------------------------
 # export
 # ---------------------------------------------------------------------------
@@ -252,6 +278,16 @@ def run_all(outdir, quick: bool = True, echo=print) -> dict:
     export_csv(outdir / "mtbf_calibration.csv", ["fit", "mtbf_hours"], rows)
     produced["mtbf"] = rows
 
+    echo("mc trajectory: streaming-estimator CI vs trials")
+    rows = mc_trajectory_rows(
+        batch_trials=500 if quick else 2_000,
+        max_waves=4 if quick else 6,
+    )
+    export_csv(outdir / "mc_ci_trajectory.csv",
+               ["wave", "trials", "p_block_due", "half_width",
+                "due_probability"], rows)
+    produced["mc_trajectory"] = rows
+
     echo("scheme study: every registered scheme "
          "(perf / recovery / UDR)")
     from repro.schemes import (
@@ -265,6 +301,7 @@ def run_all(outdir, quick: bool = True, echo=print) -> dict:
             "footprint_bytes": 2 * MB,
             "num_refs": 2_000 if quick else 4_000,
         }),
+        empirical_trials=6_000 if quick else 12_000,
     )
     rows = study_report(study)
     export_csv(outdir / "scheme_study.csv", list(STUDY_CSV_HEADER), rows)

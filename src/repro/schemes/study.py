@@ -12,7 +12,11 @@ three instruments and emits one ``scheme_study/v1`` report:
   the NVM read/write traffic recovery issued, priced at the device's
   PCM latencies — so reports are bit-stable across machines;
 * **UDR** — the paper's resilience metric from the scheme's clone-depth
-  map at a fixed per-block uncorrectability probability.
+  map at a fixed per-block uncorrectability probability, plus (by
+  default) an **empirical** UDR column with 95% CI half-widths from one
+  shared streaming Monte-Carlo campaign (:mod:`repro.faults.mc`) at a
+  fast FIT point — the analytic number is checked to land inside each
+  scheme's empirical interval.
 
 Everything here imports the simulator lazily: this module is re-exported
 from :mod:`repro.schemes`, which :mod:`repro.core` imports at package
@@ -163,12 +167,20 @@ def run_scheme_study(
     p_block_due: float = 1e-4,
     seed: int = 2021,
     progress=None,
+    empirical: bool = True,
+    empirical_trials: int = 12_000,
+    empirical_fit: float = 80.0,
 ) -> dict:
     """Run the full study; returns the ``scheme_study/v1`` payload.
 
     ``schemes`` defaults to every registered scheme.  The registered
     reference scheme is always included (overheads and resilience
     ratios are measured against it).
+
+    With ``empirical`` (the default) one shared importance-sampled MC
+    campaign at ``empirical_fit`` FIT/device adds per-scheme empirical
+    UDR estimates with CI half-widths (``empirical`` block +
+    ``udr.empirical`` per scheme; additive to the schema).
     """
     from repro.analysis import compute_udr
     from repro.schemes.base import (
@@ -237,6 +249,35 @@ def run_scheme_study(
         }
         ok = ok and recovery["ok"]
 
+    empirical_block = None
+    if empirical:
+        from repro.faults import (
+            importance_distribution,
+            mc_report,
+            run_mc_campaign,
+        )
+        from repro.faults.config import FaultSimConfig
+
+        if progress is not None:
+            progress(f"empirical UDR: shared MC campaign at "
+                     f"{empirical_fit:g} FIT, {empirical_trials} trials")
+        mc_config = FaultSimConfig(
+            fit_per_device=empirical_fit,
+            trials=empirical_trials,
+            seed=seed,
+        )
+        campaign = run_mc_campaign(
+            mc_config,
+            trials=empirical_trials,
+            batch_trials=max(256, empirical_trials // 6),
+            importance=importance_distribution(mc_config.relative_rates),
+            schemes=order,
+            data_bytes=data_bytes,
+        )
+        empirical_block = mc_report(campaign)
+        for name in order:
+            rows[name]["udr"]["empirical"] = empirical_block["schemes"][name]
+
     return {
         "schema": SCHEME_STUDY_SCHEMA,
         "kind": "scheme_study",
@@ -252,23 +293,29 @@ def run_scheme_study(
         },
         "p_block_due": p_block_due,
         "schemes": rows,
+        "empirical": empirical_block,
         "ok": ok,
     }
 
 
 #: CSV header for :func:`study_report` rows (the per-scheme figure).
+#: The two empirical columns appear only when the study ran the MC
+#: campaign (the default).
 STUDY_CSV_HEADER = (
     "scheme", "slowdown_vs_reference", "write_overhead_vs_reference",
     "recovery_ns", "recovery_ok", "udr", "resilience_vs_reference",
+    "empirical_udr", "empirical_ci_half_width",
 )
 
 
 def study_report(study: dict) -> list:
     """Figure rows (one per scheme) from a ``scheme_study/v1`` payload:
-    performance overhead, crash-recovery time, and UDR side by side."""
+    performance overhead, crash-recovery time, and UDR side by side
+    (plus the empirical-UDR column with its CI half-width when the
+    study ran the MC campaign)."""
     rows = []
     for name, row in study["schemes"].items():
-        rows.append((
+        base = (
             name,
             row["performance"]["slowdown_vs_reference"],
             row["performance"]["write_overhead_vs_reference"],
@@ -276,5 +323,9 @@ def study_report(study: dict) -> list:
             row["recovery"]["ok"],
             row["udr"]["udr"],
             row["udr"]["resilience_vs_reference"],
-        ))
+        )
+        empirical = row["udr"].get("empirical")
+        if empirical is not None:
+            base += (empirical["udr"], empirical["half_width"])
+        rows.append(base)
     return rows

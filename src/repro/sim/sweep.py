@@ -839,6 +839,13 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
             "write_p95_ns": latency.get("write", {}).get("p95"),
         })
 
+    # Monte-Carlo engine A/B: time the vectorized FaultSim trial core
+    # against its scalar reference on one pinned campaign (bit-equal by
+    # construction; the mc-smoke CI leg gates on >= 10x).
+    from repro.faults import mc_bench
+
+    mc = mc_bench(seed=seed)
+
     serial_cell_wall = sum(o.wall_seconds for o in serial if o.ok)
     overhead = max(0.0, serial_wall - serial_cell_wall)
     return {
@@ -861,6 +868,7 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
         if serial_wall else None,
         "identical_outputs": identical,
         "engines_identical": engines_identical,
+        "mc": mc,
         "runtime": {
             "checkpointed": bool(checkpoint_dir),
             "serial_cell_wall_s": round(serial_cell_wall, 4),

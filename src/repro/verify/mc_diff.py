@@ -1,0 +1,286 @@
+"""Differential prover: vectorized vs scalar FaultSim bit-equality.
+
+The vectorized Monte-Carlo core (:mod:`repro.faults.mc`) claims **bit
+identity** with its scalar reference — same random streams, same
+per-trial fault sets, same DUE regions and unique-block counts, same
+importance-sampling weights, and therefore the same
+:class:`~repro.faults.faultsim.FaultSimResult` floats.  This module is
+the evidence, layer by layer, so a mismatch localizes the bug:
+
+* **rng** — the SplitMix64 scalar reference against the uint64 array
+  twin, value by value, over pinned keys;
+* **sampler** — vector batches decoded back to
+  :class:`~repro.faults.fault_model.Fault` objects against the scalar
+  twin sampler, trial by trial (same RNG stream discipline as
+  ``repro engine-diff``: both sides consume identical keyed streams);
+* **trial** — per-trial ``(unique DUE blocks, per-rank split, weight)``
+  from the vectorized ECC evaluator against the original object model +
+  ``union_block_count``, including the multiset of >14-region additive
+  fallback events;
+* **result** — end-to-end ``FaultSimulator.run`` equality on every
+  float;
+* **batching** — one contiguous vector evaluation against ragged
+  chunkings of the same trial range (batch-size invariance);
+* **importance** — likelihood ratios under a biased class distribution,
+  computed independently by both samplers.
+
+The corpus pins seeds, every ECC model, a degenerate geometry, and a
+fault-count bucket that exercises the additive union fallback.
+``repro mc-diff`` runs it from the shell; the ``mc-smoke`` CI job gates
+merges on it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.faults import mc
+from repro.faults.config import FaultSimConfig
+from repro.faults.faultsim import FaultSimulator
+from repro.memory.geometry import DimmGeometry
+
+#: Schema stamp for :func:`run_mc_diff` payloads.
+MC_DIFF_SCHEMA = "mc_diff/v1"
+
+
+def _row(name: str, kind: str, mismatched: list) -> dict:
+    return {
+        "name": name,
+        "kind": kind,
+        "identical": not mismatched,
+        "mismatched": mismatched,
+    }
+
+
+# ----------------------------------------------------------------------
+# pinned corpus
+
+
+def _tiny_geometry() -> DimmGeometry:
+    """A degenerate DIMM where fault extents collide constantly."""
+    return DimmGeometry(
+        chips=8, chips_per_rank=4, ranks=2, banks=2, rows=4, cols=256
+    )
+
+
+def diff_configs() -> list:
+    """The pinned (name, config, k-buckets) corpus."""
+    return [
+        (
+            "chipkill/hopper",
+            FaultSimConfig(fit_per_device=80, trials=4000, seed=3),
+            (2, 5, 8),
+        ),
+        (
+            "chipkill2/hopper",
+            FaultSimConfig(
+                fit_per_device=80, trials=4000, seed=11, repair="chipkill2"
+            ),
+            (3, 8),
+        ),
+        (
+            "secded/hopper",
+            FaultSimConfig(
+                fit_per_device=40, trials=4000, seed=7, repair="secded"
+            ),
+            (1, 4, 8),
+        ),
+        (
+            "none/hopper",
+            FaultSimConfig(
+                fit_per_device=40, trials=4000, seed=9, repair="none"
+            ),
+            (1, 8),
+        ),
+        (
+            "secded/bit-word",
+            FaultSimConfig(
+                fit_per_device=40,
+                trials=4000,
+                seed=13,
+                repair="secded",
+                relative_rates={"bit": 0.5, "word": 0.5},
+            ),
+            (1, 2),
+        ),
+        (
+            "chipkill/tiny-geometry",
+            FaultSimConfig(
+                geometry=_tiny_geometry(),
+                fit_per_device=200,
+                trials=4000,
+                seed=5,
+            ),
+            (2, 8),
+        ),
+        (
+            "secded/tiny-geometry",
+            FaultSimConfig(
+                geometry=_tiny_geometry(),
+                fit_per_device=200,
+                trials=4000,
+                seed=17,
+                repair="secded",
+            ),
+            (4, 8),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# case layers
+
+
+def rng_case() -> dict:
+    """SplitMix64 scalar reference vs the uint64 array twin."""
+    mismatched = []
+    probes = [0, 1, 2021, 1 << 32, (1 << 63) + 12345, (1 << 64) - 1]
+    vector = mc.mix64_array(np.array(probes, dtype=np.uint64))
+    for i, probe in enumerate(probes):
+        if mc.mix64(probe) != int(vector[i]):
+            mismatched.append(f"mix64:{probe:#x}")
+    for key_parts in [(2021, 2, 0, mc.F_CLASS), (3, 8, 7, mc.F_ROW),
+                      (17, 5, 3, mc.F_NBANK_SCORE, 63)]:
+        key = mc.stream_key(*key_parts)
+        trials = np.arange(0, 512, dtype=np.uint64)
+        vector = mc.draw_array(key, trials)
+        for t in range(512):
+            if mc.draw(key, t) != int(vector[t]):
+                mismatched.append(f"draw:{key_parts}:{t}")
+                break
+    return _row("rng:splitmix64", "rng", mismatched)
+
+
+def sampler_case(name, config, k, trials: int) -> dict:
+    """Decoded vector batches vs the scalar twin, fault by fault."""
+    batch = mc.sample_batch(config, k, 0, trials)
+    mismatched = []
+    for i in range(trials):
+        decoded = mc.decode_trial(batch, i, config.geometry)
+        reference, _ = mc.sample_trial_faults(config, k, i)
+        if decoded != reference:
+            mismatched.append(f"trial:{i}")
+            if len(mismatched) >= 5:
+                break
+    return _row(f"sampler:{name}/k{k}", "sampler", mismatched)
+
+
+def trial_case(name, config, k, trials: int, q=None) -> dict:
+    """Per-trial DUE integers + fallback events, vector vs object model."""
+    observations = {}
+    for engine in ("vector", "scalar"):
+        events = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            u_total, per_rank, weight = mc.batch_outputs(
+                config, k, 0, trials, engine=engine, q=q,
+                on_approximation=events.append,
+            )
+        observations[engine] = {
+            "u_total": u_total.tolist(),
+            "per_rank": per_rank.tolist(),
+            "weight": weight.tolist(),
+            "approximations": sorted(events),
+        }
+    mismatched = [
+        field
+        for field in ("u_total", "per_rank", "weight", "approximations")
+        if observations["vector"][field] != observations["scalar"][field]
+    ]
+    suffix = "/importance" if q is not None else ""
+    return _row(f"trial:{name}/k{k}{suffix}", "trial", mismatched)
+
+
+def result_case(name, config, trials_per_k: int) -> dict:
+    """End-to-end ``FaultSimulator.run`` equality on every float."""
+    results = {}
+    for engine in ("vector", "scalar"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results[engine] = asdict(
+                FaultSimulator(config).run(
+                    trials_per_k=trials_per_k, engine=engine
+                )
+            )
+    mismatched = [
+        key
+        for key in results["vector"]
+        if results["vector"][key] != results["scalar"][key]
+    ]
+    return _row(f"result:{name}", "result", mismatched)
+
+
+def batching_case(name, config, k, trials: int) -> dict:
+    """Batch-size invariance: ragged chunkings equal one contiguous run."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        whole = mc.batch_outputs(config, k, 0, trials)
+        mismatched = []
+        for split_name, raw_edges in (
+            ("thirds", [0, trials // 3, 2 * trials // 3, trials]),
+            ("ragged", [0, 1, 38, 39, 293, trials]),
+        ):
+            edges = sorted({min(edge, trials) for edge in raw_edges})
+            parts = [
+                mc.batch_outputs(config, k, lo, hi - lo)
+                for lo, hi in zip(edges, edges[1:])
+                if hi > lo
+            ]
+            stitched = tuple(
+                np.concatenate([p[i] for p in parts]) for i in range(3)
+            )
+            if not all(
+                np.array_equal(whole[i], stitched[i]) for i in range(3)
+            ):
+                mismatched.append(split_name)
+    return _row(f"batching:{name}/k{k}", "batching", mismatched)
+
+
+def importance_case(name, config, k, trials: int) -> dict:
+    """Likelihood ratios under a biased q, both samplers independently."""
+    q = mc.importance_distribution(config.relative_rates, tilt=0.6)
+    return trial_case(name, config, k, trials, q=q)
+
+
+# ----------------------------------------------------------------------
+# the suite
+
+
+def run_mc_diff(trials: int = 1500, quick: bool = False,
+                progress=None) -> dict:
+    """Run the full differential suite; returns the report payload.
+
+    ``identical`` is the headline verdict: True iff every layer — RNG,
+    sampler, trial evaluation, end-to-end results, batching, importance
+    weights — is bit-equal between the vector and scalar paths over the
+    pinned corpus.
+    """
+    corpus = diff_configs()
+    if quick:
+        corpus = corpus[:3]
+        trials = min(trials, 500)
+    rows = [rng_case()]
+    if progress is not None:
+        progress(rows[-1])
+
+    def emit(row):
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+
+    for name, config, ks in corpus:
+        for k in ks:
+            emit(sampler_case(name, config, k, min(trials, 400)))
+            emit(trial_case(name, config, k, trials))
+        emit(result_case(name, config, trials_per_k=min(trials, 800)))
+        emit(batching_case(name, config, ks[-1], trials))
+        emit(importance_case(name, config, ks[-1], min(trials, 800)))
+    return {
+        "schema": MC_DIFF_SCHEMA,
+        "cases": rows,
+        "total": len(rows),
+        "identical": all(row["identical"] for row in rows),
+    }

@@ -275,3 +275,72 @@ class TestScenarioCli:
         resumed = json.loads(resumed_out.read_text())
         assert resumed["runs"] == clean["runs"]
         assert resumed["scenarios"] == clean["scenarios"]
+
+
+class TestMcCli:
+    def test_parse_count_scientific(self):
+        from repro.cli import _parse_count
+
+        assert _parse_count("1e8") == 100_000_000
+        assert _parse_count("20000") == 20_000
+        assert _parse_count("2.5e3") == 2_500
+
+    def test_mc_diff_quick(self, capsys):
+        assert main(["mc-diff", "--quick", "--trials", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "BIT-IDENTICAL" in out
+
+    def test_mc_diff_out_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "mc_diff.json"
+        assert main(["mc-diff", "--quick", "--trials", "100",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "mc_diff/v1"
+        assert report["identical"] is True
+
+    def test_reliability_empirical(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "mc.json"
+        code = main([
+            "reliability", "--empirical", "--fits", "80",
+            "--trials", "3e3", "--batch-trials", "500",
+            "--out", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "udr_mc/v1"
+        campaign = report["campaigns"][0]
+        assert campaign["p_block_due_half_width"] > 0
+        assert set(campaign["schemes"])  # per-scheme error bars present
+        printed = capsys.readouterr().out
+        assert "empirical UDR" in printed
+
+    def test_reliability_empirical_checkpoint_resume(self, capsys,
+                                                     tmp_path):
+        import json
+
+        ckpt = tmp_path / "ck"
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        base = ["reliability", "--empirical", "--fits", "80",
+                "--trials", "2e3", "--batch-trials", "500"]
+        assert main(base + ["--checkpoint", str(ckpt),
+                            "--out", str(out_a)]) == 0
+        assert main(base + ["--resume", str(ckpt),
+                            "--out", str(out_b)]) == 0
+        a = json.loads(out_a.read_text())
+        b = json.loads(out_b.read_text())
+        assert a["campaigns"] == b["campaigns"]
+
+    def test_compare_schemes_empirical_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "compare-schemes", "--empirical-trials", "1e4",
+            "--empirical-fit", "40", "--no-empirical",
+        ])
+        assert args.empirical_trials == 10_000
+        assert args.empirical_fit == 40.0
+        assert args.no_empirical is True

@@ -123,11 +123,18 @@ class TestExport:
             "fig03_expected_loss", "fig04_eviction_levels",
             "fig10a_performance", "fig10b_writes", "fig10c_evictions",
             "fig11_udr", "fig12_loss_8tb", "mtbf_calibration",
-            "scheme_study",
+            "mc_ci_trajectory", "scheme_study",
         }
         written = {p.stem for p in tmp_path.glob("*.csv")}
         assert expected == written
-        assert len(produced) == 9
+        assert len(produced) == 10
         study_rows = produced["scheme_study"]
         from repro.schemes import scheme_names
         assert {row[0] for row in study_rows} == set(scheme_names())
+        # The CI-vs-trials trajectory must tighten monotonically in
+        # trials and carry positive half-widths.
+        trajectory = produced["mc_trajectory"]
+        assert len(trajectory) >= 2
+        trials = [row[1] for row in trajectory]
+        assert trials == sorted(trials)
+        assert all(row[3] > 0 for row in trajectory)

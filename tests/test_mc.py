@@ -1,0 +1,245 @@
+"""Vectorized Monte-Carlo core: RNG twins, sampler twins, engine parity.
+
+The batched engine (repro.faults.mc) claims bit identity with the
+scalar reference at every layer.  These tests pin each layer
+individually — the full pinned-corpus prover lives in
+``repro.verify.mc_diff`` (see tests/test_mc_diff.py).
+"""
+
+import warnings
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSimConfig, FaultSimulator, union_block_count
+from repro.faults import mc
+from repro.faults.ecc import DueRegion
+from repro.faults.fault_model import Extent
+
+
+CONFIG = FaultSimConfig(fit_per_device=80, trials=4_000, seed=3)
+
+
+class TestCounterRng:
+    def test_mix64_matches_array_twin(self):
+        probes = [0, 1, 2021, 1 << 32, (1 << 63) + 5, (1 << 64) - 1]
+        vector = mc.mix64_array(np.array(probes, dtype=np.uint64))
+        for i, probe in enumerate(probes):
+            assert mc.mix64(probe) == int(vector[i])
+
+    def test_draw_matches_array_twin(self):
+        key = mc.stream_key(2021, 3, 1, mc.F_ROW)
+        trials = np.arange(0, 256, dtype=np.uint64)
+        vector = mc.draw_array(key, trials)
+        for t in range(256):
+            assert mc.draw(key, t) == int(vector[t])
+
+    def test_stream_keys_distinct_per_field(self):
+        keys = {
+            mc.stream_key(2021, 2, 0, field)
+            for field in range(mc.F_NBANK_SCORE + 1)
+        }
+        assert len(keys) == mc.F_NBANK_SCORE + 1
+
+    def test_draws_depend_on_trial_index_only(self):
+        # Global trial identity: the same (key, t) always yields the
+        # same word, which is what makes chunking invariant.
+        key = mc.stream_key(7, 4, 2, mc.F_CHIP)
+        assert mc.draw(key, 1234) == int(
+            mc.draw_array(key, np.array([1234], dtype=np.uint64))[0]
+        )
+
+
+class TestSamplerTwins:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_decode_matches_scalar_twin(self, k):
+        batch = mc.sample_batch(CONFIG, k, 0, 120)
+        for i in range(120):
+            decoded = mc.decode_trial(batch, i, CONFIG.geometry)
+            reference, weight = mc.sample_trial_faults(CONFIG, k, i)
+            assert decoded == reference
+            assert weight == 1.0
+
+    def test_direct_weights_are_unity(self):
+        batch = mc.sample_batch(CONFIG, 4, 0, 50)
+        assert np.all(batch.weight == 1.0)
+
+    def test_batch_size_invariance(self):
+        whole = mc.sample_batch(CONFIG, 5, 0, 90)
+        parts = [
+            mc.sample_batch(CONFIG, 5, lo, hi - lo)
+            for lo, hi in [(0, 1), (1, 40), (40, 90)]
+        ]
+        for name in ("class_index", "rank", "chip", "bank_mask",
+                     "row", "group", "multibit"):
+            stitched = np.concatenate(
+                [getattr(p, name) for p in parts]
+            )
+            assert np.array_equal(getattr(whole, name), stitched)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("repair", ["chipkill", "secded", "none"])
+    def test_run_bit_identical(self, repair):
+        config = FaultSimConfig(
+            fit_per_device=80, trials=2_000, seed=5, repair=repair
+        )
+        results = {}
+        for engine in ("vector", "scalar"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results[engine] = asdict(
+                    FaultSimulator(config).run(
+                        trials_per_k=250, engine=engine
+                    )
+                )
+        assert results["vector"] == results["scalar"]
+
+    def test_batch_outputs_parity_per_trial(self):
+        vec = mc.batch_outputs(CONFIG, 3, 0, 300, engine="vector")
+        sca = mc.batch_outputs(CONFIG, 3, 0, 300, engine="scalar")
+        for a, b in zip(vec, sca):
+            assert np.array_equal(a, b)
+
+    def test_resolve_engine_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MC_ENGINE", raising=False)
+        assert mc.resolve_engine(None) == "vector"
+        assert mc.resolve_engine("scalar") == "scalar"
+        monkeypatch.setenv("REPRO_MC_ENGINE", "scalar")
+        assert mc.resolve_engine(None) == "scalar"
+        with pytest.raises(ValueError):
+            mc.resolve_engine("gpu")
+
+
+def _encoded_and_object_regions(specs, geometry):
+    """Build matching (mask, row, group) encodings and DueRegions."""
+    encoded, regions = [], []
+    for banks, row, group in specs:
+        mask = 0
+        for bank in banks:
+            mask |= 1 << bank
+        encoded.append((mask, row, group))
+        regions.append(
+            DueRegion(
+                rank=0,
+                extent=Extent(
+                    banks=set(banks),
+                    rows=None if row == -1 else {row},
+                    groups=None if group == -1 else {group},
+                ),
+            )
+        )
+    return encoded, regions
+
+
+class TestUnionFallback:
+    def test_union_regions_matches_union_block_count(self):
+        geometry = CONFIG.geometry
+        specs = [
+            ([0], 5, -1),
+            ([0], -1, 7),
+            ([0, 1, 2], -1, -1),
+            ([1], 5, 7),
+            ([2], -1, -1),
+        ]
+        encoded, regions = _encoded_and_object_regions(specs, geometry)
+        assert mc._union_regions(encoded, geometry) == union_block_count(
+            regions, geometry
+        )
+
+    def test_additive_fallback_matches_and_counts(self):
+        # >14 same-rank regions: both paths must substitute the same
+        # additive bound and report each event.
+        geometry = CONFIG.geometry
+        specs = [([i % geometry.banks], i, -1) for i in range(16)]
+        encoded, regions = _encoded_and_object_regions(specs, geometry)
+        events_obj = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            expected = union_block_count(
+                regions, geometry, on_approximation=events_obj.append
+            )
+        additive = sum(
+            mc._region_blocks(m, r, g, geometry) for m, r, g in encoded
+        )
+        assert expected == additive
+        assert events_obj == [16]
+
+    def test_fallback_surfaces_through_batched_path(self):
+        # fit=80, k=8 triggers real >14-region trials; both engines
+        # must agree on outputs and on the multiset of fallback events.
+        events = {}
+        outputs = {}
+        for engine in ("vector", "scalar"):
+            events[engine] = []
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                outputs[engine] = mc.batch_outputs(
+                    CONFIG, 8, 0, 4_000, engine=engine,
+                    on_approximation=events[engine].append,
+                )
+        assert sorted(events["vector"]) == sorted(events["scalar"])
+        assert len(events["vector"]) > 0
+        for a, b in zip(outputs["vector"], outputs["scalar"]):
+            assert np.array_equal(a, b)
+
+    def test_fallback_recorded_in_result(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = FaultSimulator(CONFIG).run(trials_per_k=4_000)
+        assert result.union_approximations > 0
+
+    def test_fallback_warns_once_per_rank_per_batch(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mc.batch_outputs(CONFIG, 8, 0, 4_000, engine="vector")
+        fallback = [
+            w for w in caught
+            if "overlapping DUE regions" in str(w.message)
+        ]
+        # Chunked evaluation: at most one warning per rank per chunk,
+        # never one per trial.
+        assert 0 < len(fallback) <= 2 * (
+            4_000 // mc._CHUNK_TRIALS + 1
+        ) * CONFIG.geometry.ranks
+
+
+class TestImportanceSampling:
+    def test_distribution_tilts_heavy_classes(self):
+        q = mc.importance_distribution(CONFIG.relative_rates, tilt=0.5)
+        assert abs(sum(q.values()) - 1.0) < 1e-12
+        for name in mc.HEAVY_CLASSES:
+            if CONFIG.relative_rates.get(name, 0.0) > 0.0:
+                assert q[name] > CONFIG.relative_rates[name]
+
+    def test_weights_are_exact_likelihood_ratios(self):
+        q = mc.importance_distribution(CONFIG.relative_rates, tilt=0.6)
+        batch = mc.sample_batch(CONFIG, 2, 0, 200, q=q)
+        for i in range(200):
+            faults = mc.decode_trial(batch, i, CONFIG.geometry)
+            _, weight = mc.sample_trial_faults(CONFIG, 2, i, q=q)
+            assert batch.weight[i] == weight
+            assert len(faults) == 2
+
+    def test_importance_preserves_due_support(self):
+        # Weighted due indicator must stay a probability estimate.
+        q = mc.importance_distribution(CONFIG.relative_rates)
+        u_total, _, weight = mc.batch_outputs(CONFIG, 2, 0, 500, q=q)
+        estimate = float(((u_total > 0) * weight).mean())
+        assert 0.0 <= estimate <= 1.5
+
+
+class TestSchemeCoefficients:
+    def test_coefficients_cover_all_depths(self):
+        coefs = mc.scheme_loss_coefficients("src", mc.DEFAULT_DATA_BYTES)
+        assert coefs
+        depths = [d for d, _ in coefs]
+        assert depths == sorted(set(depths))
+        assert all(weight > 0 for _, weight in coefs)
+
+    def test_baseline_depth_is_one(self):
+        coefs = mc.scheme_loss_coefficients(
+            "baseline", mc.DEFAULT_DATA_BYTES
+        )
+        assert [d for d, _ in coefs] == [1]

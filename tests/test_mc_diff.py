@@ -1,0 +1,65 @@
+"""The vector-vs-scalar differential prover (repro mc-diff)."""
+
+import pytest
+
+from repro.verify.mc_diff import (
+    MC_DIFF_SCHEMA,
+    diff_configs,
+    rng_case,
+    run_mc_diff,
+    sampler_case,
+    trial_case,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_mc_diff(trials=300, quick=True)
+
+
+class TestCorpus:
+    def test_corpus_covers_every_ecc_model(self):
+        repairs = {config.repair for _, config, _ in diff_configs()}
+        assert repairs == {"chipkill", "chipkill2", "secded", "none"}
+
+    def test_corpus_pins_degenerate_geometry(self):
+        names = [name for name, _, _ in diff_configs()]
+        assert any("tiny-geometry" in name for name in names)
+
+    def test_corpus_reaches_the_fallback_bucket(self):
+        assert any(8 in ks for _, _, ks in diff_configs())
+
+
+class TestQuickSuite:
+    def test_everything_identical(self, quick_report):
+        assert quick_report["schema"] == MC_DIFF_SCHEMA
+        assert quick_report["identical"] is True
+        for row in quick_report["cases"]:
+            assert row["identical"], row
+
+    def test_covers_all_layers(self, quick_report):
+        kinds = {row["kind"] for row in quick_report["cases"]}
+        assert kinds == {"rng", "sampler", "trial", "result", "batching"}
+        # importance runs through the trial layer under a marked name
+        assert any(
+            row["name"].endswith("/importance")
+            for row in quick_report["cases"]
+        )
+
+    def test_progress_callback_sees_every_row(self):
+        seen = []
+        report = run_mc_diff(trials=100, quick=True, progress=seen.append)
+        assert len(seen) == report["total"]
+
+
+class TestSingleCases:
+    def test_rng_case_identical(self):
+        assert rng_case()["identical"]
+
+    def test_sampler_case_identical(self):
+        name, config, ks = diff_configs()[0]
+        assert sampler_case(name, config, ks[0], 100)["identical"]
+
+    def test_trial_case_identical(self):
+        name, config, ks = diff_configs()[0]
+        assert trial_case(name, config, ks[0], 200)["identical"]

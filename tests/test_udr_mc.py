@@ -86,3 +86,73 @@ class TestMonteCarloUdr:
         # loss.  (Residual equality happens when the only sampled
         # metadata losses were sidecar-forced, which clones cannot fix.)
         assert mc_src.udr <= mc_baseline.udr
+
+
+class TestMonteCarloCi:
+    def test_half_width_present_and_sane(self, mc_baseline):
+        assert mc_baseline.udr_half_width >= 0.0
+        # The CI must not dwarf the estimate into meaninglessness when
+        # events were actually observed.
+        if mc_baseline.udr > 0:
+            assert mc_baseline.udr_half_width < mc_baseline.udr * 100
+
+
+class TestEmpiricalVsAnalytic:
+    """Per-scheme cross-check: the analytic UDR (moment estimator fed
+    the campaign's own clone-survival moments) must land inside every
+    registered scheme's empirical confidence interval at a fast FIT
+    point — the acceptance gate for the streaming-campaign pipeline."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        import warnings
+
+        from repro.faults import (
+            importance_distribution,
+            mc_report,
+            run_mc_campaign,
+        )
+
+        config = FaultSimConfig(fit_per_device=80, trials=6_000, seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            campaign = run_mc_campaign(
+                config,
+                trials=6_000,
+                batch_trials=1_000,
+                importance=importance_distribution(config.relative_rates),
+            )
+        return mc_report(campaign)
+
+    def test_all_registered_schemes_covered(self, report):
+        from repro.schemes import scheme_names
+
+        assert set(report["schemes"]) == set(scheme_names())
+
+    def test_analytic_inside_empirical_ci(self, report):
+        for name, entry in report["schemes"].items():
+            assert entry["analytic_in_ci"], (
+                f"{name}: analytic {entry['analytic']:.3e} outside "
+                f"{entry['udr']:.3e} +- {entry['half_width']:.1e}"
+            )
+
+    def test_error_bars_are_positive_when_loss_observed(self, report):
+        for entry in report["schemes"].values():
+            if entry["udr"] > 0:
+                assert entry["half_width"] > 0
+
+    def test_udr_result_propagates_moment_half_widths(self, report):
+        analytic = compute_udr(
+            report["p_block_due"],
+            report["data_bytes"],
+            clone_depths=scheme_depths("src", report["data_bytes"]),
+            scheme="src",
+            p_multi_due={
+                int(d): v for d, v in report["p_multi_due_cross"].items()
+            },
+            p_multi_due_half_width={
+                int(d): v
+                for d, v in report["p_multi_due_cross_half_width"].items()
+            },
+        )
+        assert analytic.half_width > 0
