@@ -5,22 +5,27 @@ The main entry points:
 * ``info``        — metadata layout and overheads for a memory size;
 * ``perf``        — run workloads through the timing simulator and
   compare schemes (Figure 10 style);
-* ``bench``       — pinned performance sweep with a scalar-engine A/B
+* ``bench``       — pinned performance sweep with a cold-store overhead
   leg; emits ``BENCH_perf.json`` (the repo's perf trajectory);
-* ``engine-diff`` — differential scalar-vs-vector engine equivalence
-  suite (corpus + pinned sweeps + chaos fault injection);
+* ``engine-diff`` — replay the vector engine against its pinned
+  behavior fixture (corpus + pinned sweeps + chaos fault injection);
 * ``mc-diff``     — differential vector-vs-scalar FaultSim equivalence
   suite (RNG, samplers, trial evaluation, results, batching);
 * ``reliability`` — fault simulation + UDR across FIT rates
   (Figure 11/12 style); ``--empirical``/``--target-ci`` switch to the
   streaming Monte-Carlo campaign with confidence intervals
   (``udr_mc/v1``), checkpointable and resumable at 1e8-trial scale;
+* ``fleet``       — join (``worker``) or inspect (``status``) a
+  multi-host campaign published with ``--queue``;
 * ``crash-test``  — functional crash/recovery exercise with optional
   shadow-entry corruption.
 
 ``perf``, ``bench``, ``reliability``, and ``chaos`` accept ``--jobs N``
 to fan independent sweep cells across worker processes; outputs are
-bit-identical to ``--jobs 1`` (see ``repro.sim.sweep``).
+bit-identical to ``--jobs 1`` (see ``repro.sim.sweep``).  The same
+commands accept ``--store DIR`` (content-addressed result reuse) and
+``--queue DIR`` (publish the campaign for ``repro fleet worker``
+processes on other hosts to drain cooperatively).
 """
 
 from __future__ import annotations
@@ -80,6 +85,18 @@ def _add_runtime_args(p) -> None:
     p.add_argument("--max-failures", type=int, default=None, metavar="N",
                    help="circuit breaker: abort the sweep after N "
                         "terminal cell failures")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="content-addressed result store (store/v1): "
+                        "serve already-computed cells from DIR, publish "
+                        "fresh ones into it (shareable across hosts)")
+    p.add_argument("--queue", metavar="DIR", default=None,
+                   help="fleet mode: publish the campaign into DIR "
+                        "(queue/v1) and claim cells via fsync'd leases "
+                        "so `repro fleet worker --queue DIR` processes "
+                        "on other hosts drain it cooperatively")
+    p.add_argument("--lease-ttl", type=float, default=None, metavar="SECS",
+                   help="fleet lease time-to-live before a dead "
+                        "worker's cell is reclaimed (default 60s)")
 
 
 def _runtime_kwargs(args) -> dict:
@@ -94,12 +111,19 @@ def _runtime_kwargs(args) -> dict:
             )
         checkpoint = args.resume
         resume = True
-    return {
+    kwargs = {
         "checkpoint": checkpoint,
         "resume": resume,
         "timeout": args.cell_timeout,
         "max_failures": args.max_failures,
+        "store": args.store,
+        "queue": args.queue,
     }
+    # Only override the engine's default TTL when the flag was given —
+    # the campaign-level helpers treat None as "use the default".
+    if args.lease_ttl is not None:
+        kwargs["lease_ttl"] = args.lease_ttl
+    return kwargs
 
 
 def _finish_sweep(engine, outcomes, args, kind: str, code: int) -> int:
@@ -238,29 +262,29 @@ def cmd_bench(args) -> int:
         memory_mb=args.memory_mb,
         progress=progress,
         checkpoint_dir=args.checkpoint,
+        store_dir=args.store,
     )
     path = write_bench(payload, args.out)
-    print(f"{'cell':<16} {'refs/s':>10} {'scalar r/s':>11} {'speedup':>8}")
+    print(f"{'cell':<16} {'refs/s':>10}")
     for row in payload["cells"]:
-        speedup = row["engine_speedup"]
-        if speedup:
-            print(f"{row['label']:<16} {row['refs_per_s']:>10.0f} "
-                  f"{row['scalar_refs_per_s']:>11.0f} {speedup:>7.2f}x")
+        if row["ok"] and row["refs_per_s"]:
+            print(f"{row['label']:<16} {row['refs_per_s']:>10.0f}")
         else:
             print(f"{row['label']:<16} {'FAILED':>10}")
+    store = payload["store"]
     print(f"serial wall   {payload['serial_wall_s']:8.2f}s")
     print(f"parallel wall {payload['parallel_wall_s']:8.2f}s "
           f"({args.jobs} jobs)")
-    print(f"scalar wall   {payload['scalar_wall_s']:8.2f}s")
+    print(f"store wall    {store['wall_s']:8.2f}s (cold, serial)")
     print(f"speedup       {payload['speedup']:8.2f}x (jobs)")
-    print(f"engine        {payload['engine_speedup']:8.2f}x "
-          "(vector vs scalar, whole grid)")
+    print(f"store layer   {store['overhead_fraction'] * 100:8.2f}% "
+          f"of its leg ({store['writes']} entries published)")
     print(f"identical outputs (jobs=1 vs jobs={args.jobs}): "
           f"{'yes' if payload['identical_outputs'] else 'NO'}")
-    print(f"identical engines (vector vs scalar): "
-          f"{'yes' if payload['engines_identical'] else 'NO'}")
+    print(f"identical outputs (plain vs store leg): "
+          f"{'yes' if store['identical_outputs'] else 'NO'}")
     print(f"wrote {path}")
-    ok = payload["identical_outputs"] and payload["engines_identical"]
+    ok = payload["identical_outputs"] and store["identical_outputs"]
     return 0 if ok else 1
 
 
@@ -302,6 +326,10 @@ def _reliability_empirical(args) -> int:
             checkpoint=checkpoint,
             resume=runtime["resume"],
             max_failures=runtime["max_failures"],
+            store=runtime["store"],
+            queue=(str(Path(runtime["queue"]) / f"fit-{fit:g}")
+                   if runtime["queue"] else None),
+            lease_ttl=runtime.get("lease_ttl"),
         )
         report = mc_report(result)
         reports.append(report)
@@ -414,6 +442,8 @@ def _chaos_scenarios(args) -> int:
             checkpoint=runtime["checkpoint"], resume=runtime["resume"],
             max_failures=runtime["max_failures"],
             cell_timeout=runtime["timeout"],
+            store=runtime["store"], queue=runtime["queue"],
+            lease_ttl=runtime.get("lease_ttl"),
         )
     except SilentCorruptionError as exc:
         print(f"INVARIANT VIOLATED: {exc}")
@@ -479,6 +509,8 @@ def cmd_chaos(args) -> int:
             checkpoint=runtime["checkpoint"], resume=runtime["resume"],
             max_failures=runtime["max_failures"],
             cell_timeout=runtime["timeout"],
+            store=runtime["store"], queue=runtime["queue"],
+            lease_ttl=runtime.get("lease_ttl"),
         )
     except SilentCorruptionError as exc:
         print(f"INVARIANT VIOLATED: {exc}")
@@ -612,8 +644,8 @@ def cmd_verify(args) -> int:
 
 
 def cmd_engine_diff(args) -> int:
-    """Differential scalar-vs-vector engine equivalence suite."""
-    from repro.verify.engine_diff import run_engine_diff
+    """Replay the vector engine against its pinned behavior fixture."""
+    from repro.verify.engine_diff import DEFAULT_FIXTURE, run_engine_diff
 
     def progress(row):
         status = "ok" if row["identical"] else "MISMATCH"
@@ -621,19 +653,25 @@ def cmd_engine_diff(args) -> int:
             f"  differs in: {', '.join(row['mismatched'])}"
             if row["mismatched"] else ""
         )
-        error = f"  (both raised: {row['error']})" if row["error"] else ""
+        error = f"  (pinned error: {row['error']})" if row["error"] else ""
         print(f"  {row['name']:<40} {status}{detail}{error}")
 
     report = run_engine_diff(
         corpus_dir=args.corpus, refs=args.refs, quick=args.quick,
-        progress=progress,
+        progress=progress, fixture=args.fixture or DEFAULT_FIXTURE,
+        record=args.record,
     )
     if args.out:
         atomic_write_json(args.out, report)
         print(f"wrote {args.out}")
+    if report["recorded"]:
+        print(f"re-pinned {report['total']} cases into "
+              f"{report['fixture']} (review the diff like any golden "
+              "file)")
+        return 0
     verdict = "BIT-IDENTICAL" if report["identical"] else "DIVERGED"
-    print(f"engines {verdict} across {report['total']} cases "
-          "(corpus + pinned sweeps + chaos)")
+    print(f"engine {verdict} to the pinned replay fixture across "
+          f"{report['total']} cases (corpus + pinned sweeps + chaos)")
     return 0 if report["identical"] else 1
 
 
@@ -791,6 +829,9 @@ def cmd_compare_schemes(args) -> int:
         empirical=not args.no_empirical,
         empirical_trials=args.empirical_trials,
         empirical_fit=args.empirical_fit,
+        store=args.store,
+        queue=args.queue,
+        lease_ttl=args.lease_ttl,
     )
     has_empirical = study.get("empirical") is not None
     header = (f"{'scheme':<10} {'slowdown':>9} {'write ovh':>10} "
@@ -834,6 +875,161 @@ def cmd_compare_schemes(args) -> int:
     return 0 if study["ok"] else 1
 
 
+def _fleet_campaign_dirs(root: str, follow: bool) -> list:
+    """Queue directories under ``root`` holding a published campaign.
+
+    ``follow`` also scans immediate subdirectories — the layout
+    ``run_mc_campaign`` uses for its per-wave queues (``wave-0000/``,
+    ``wave-0001/``, ...) and ``repro reliability`` for its per-FIT
+    ones — so one worker serves every stage of a multi-phase campaign.
+    """
+    import os
+
+    from repro.runtime.queue import MANIFEST_NAME
+
+    dirs = []
+    if os.path.isfile(os.path.join(root, MANIFEST_NAME)):
+        dirs.append(root)
+    if follow and os.path.isdir(root):
+        for name in sorted(os.listdir(root)):
+            sub = os.path.join(root, name)
+            if os.path.isfile(os.path.join(sub, MANIFEST_NAME)):
+                dirs.append(sub)
+    return dirs
+
+
+def cmd_fleet_worker(args) -> int:
+    """Join a published campaign: claim, run, and publish cells."""
+    import os
+    import time
+
+    from repro.runtime import QueueMismatchError, WorkQueue
+
+    progress = None
+    if not args.quiet:
+        def progress(p):
+            status = "ok" if p.ok else "FAIL"
+            source = ("store" if p.reused
+                      else "resumed" if p.resumed else "ran")
+            print(f"  [{p.done:>3}/{p.total}] {p.label:<20} {status} "
+                  f"({source})")
+
+    drained = {}
+    reports = []
+    idle_since = time.monotonic()
+    code = 0
+    while True:
+        worked = False
+        for qdir in _fleet_campaign_dirs(args.queue, args.follow):
+            try:
+                manifest = WorkQueue(qdir).load_campaign()
+            except (QueueMismatchError, OSError) as exc:
+                print(f"  skipping {qdir}: {exc}")
+                continue
+            if drained.get(qdir) == manifest["fingerprint"]:
+                continue
+            ttl = args.lease_ttl or manifest.get("lease_ttl_s")
+            engine_kwargs = {"lease_ttl": float(ttl)} if ttl else {}
+            engine = SweepEngine(
+                manifest["cells"],
+                runner=manifest["runner_callable"],
+                jobs=1,
+                queue=qdir,
+                store=args.store or os.path.join(qdir, "store"),
+                progress=progress,
+                **engine_kwargs,
+            )
+            print(f"joining {qdir}: {manifest['total_cells']} cells "
+                  f"[{manifest['fingerprint'][:12]}]")
+            try:
+                outcomes = engine.run()
+            except TooManyFailuresError as exc:
+                print(f"ABORTED: {exc}")
+                return EXIT_ABORTED
+            reports.append(sweep_report(engine, outcomes, kind="fleet"))
+            if engine.interrupted:
+                print(f"INTERRUPTED by {engine.signal_name}; lease(s) "
+                      "released — the fleet will finish the campaign")
+                code = EXIT_INTERRUPTED
+                break
+            drained[qdir] = manifest["fingerprint"]
+            ran = sum(1 for o in outcomes
+                      if o.ok and not o.reused and not o.resumed)
+            served = sum(1 for o in outcomes if o.reused)
+            failed = sum(1 for o in outcomes if not o.ok)
+            print(f"drained {qdir}: ran {ran}, store-served {served}, "
+                  f"failed {failed}")
+            worked = True
+        if code:
+            break
+        if worked:
+            idle_since = time.monotonic()
+        if not args.follow:
+            if not reports:
+                print(f"no campaign published under {args.queue}; "
+                      "start one with a sweep command using --queue "
+                      "(or use --follow to wait)")
+                return 1
+            break
+        if args.idle_timeout and (
+                time.monotonic() - idle_since >= args.idle_timeout):
+            print(f"idle for {args.idle_timeout:g}s; exiting")
+            break
+        time.sleep(min(2.0, args.idle_timeout or 2.0))
+    if args.out and reports:
+        payload = reports[0] if len(reports) == 1 else {
+            "schema": reports[0]["schema"],
+            "kind": "fleet",
+            "campaigns": reports,
+        }
+        atomic_write_json(args.out, payload)
+        print(f"wrote {args.out}")
+    return code
+
+
+def cmd_fleet_status(args) -> int:
+    """Point-in-time view of a fleet campaign's queue + store."""
+    import os
+
+    from repro.runtime import ResultStore, WorkQueue
+
+    dirs = _fleet_campaign_dirs(args.queue, follow=True)
+    if not dirs:
+        print(f"no campaign published under {args.queue}")
+        return 1
+    statuses = []
+    for qdir in dirs:
+        status = WorkQueue(qdir).status()
+        store_dir = args.store or os.path.join(qdir, "store")
+        stored = (ResultStore(store_dir).count()
+                  if os.path.isdir(store_dir) else 0)
+        status["store_entries"] = stored
+        statuses.append(status)
+        print(f"{qdir}: {stored}/{status['total_cells']} cells stored, "
+              f"{len(status['leases_live'])} live / "
+              f"{len(status['leases_stale'])} stale / "
+              f"{status['leases_torn']} torn lease(s), "
+              f"{status['poisoned']} poisoned "
+              f"[{status['fingerprint'][:12]}]")
+        for entry in status["leases_live"]:
+            print(f"    {entry['key'][:12]}  held by {entry['owner']}  "
+                  f"expires in {entry['expires_in_s']:g}s")
+        for entry in status["leases_stale"]:
+            print(f"    {entry['key'][:12]}  held by {entry['owner']}  "
+                  f"EXPIRED {-entry['expires_in_s']:g}s ago "
+                  "(reclaimable)")
+    if args.out:
+        atomic_write_json(
+            args.out,
+            statuses[0] if len(statuses) == 1 else {
+                "schema": statuses[0]["schema"],
+                "queues": statuses,
+            },
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -856,10 +1052,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="per-cell base seed (same seed -> same table)")
     p.add_argument("--engine", default=None,
-                   choices=["vector", "scalar"],
-                   help="simulation engine (default: REPRO_SIM_ENGINE "
-                        "env override, then the vectorized engine; the "
-                        "two are bit-identical)")
+                   choices=["vector"],
+                   help="simulation engine (the retired scalar loop's "
+                        "behavior is pinned by `repro engine-diff`)")
     p.add_argument("--out", default=None,
                    help="write the sweep/v1 JSON report here")
     _add_runtime_args(p)
@@ -867,8 +1062,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="pinned 5-workload x 3-scheme sweep with a scalar-engine "
-             "A/B leg; emits BENCH_perf.json",
+        help="pinned 5-workload x 3-scheme sweep with a cold-store "
+             "overhead leg; emits BENCH_perf.json",
     )
     p.add_argument("--refs", type=int, default=20_000)
     p.add_argument("--jobs", type=int, default=2,
@@ -882,6 +1077,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint", metavar="DIR", default=None,
                    help="journal both legs' cells under DIR so the "
                         "measured overhead includes checkpointing")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="directory for the cold-store leg (default: a "
+                        "throwaway temp dir)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("reliability", help="FaultSim + UDR sweep")
@@ -989,18 +1187,74 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "engine-diff",
-        help="prove scalar-vs-vector engine bit-equality (corpus + "
-             "pinned sweeps + chaos fault injection)",
+        help="replay the vector engine against its pinned behavior "
+             "fixture (corpus + pinned sweeps + chaos fault injection)",
     )
     p.add_argument("--corpus", default="tests/corpus",
                    help="fuzz-corpus directory (default: tests/corpus)")
-    p.add_argument("--refs", type=int, default=4000,
-                   help="references per sweep/chaos case")
+    p.add_argument("--refs", type=int, default=None,
+                   help="references per sweep/chaos case (default: the "
+                        "fixture's pinned length; only meaningful with "
+                        "--record)")
     p.add_argument("--quick", action="store_true",
                    help="CI-sized subset of the sweep grid")
+    p.add_argument("--fixture", default=None,
+                   help="replay fixture path (default: "
+                        "tests/fixtures/engine_replay.json)")
+    p.add_argument("--record", action="store_true",
+                   help="re-pin the fixture from the current engine "
+                        "instead of comparing (for intentional "
+                        "behavior changes; review the diff)")
     p.add_argument("--out", default=None,
-                   help="write the engine_diff/v1 JSON report here")
+                   help="write the engine_diff/v2 JSON report here")
     p.set_defaults(func=cmd_engine_diff)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-host campaign fleet: join or inspect a --queue "
+             "campaign",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    w = fleet_sub.add_parser(
+        "worker",
+        help="claim, run, and publish cells from a published campaign "
+             "until it drains (at-least-once execution, exactly-once "
+             "results via the content-addressed store)",
+    )
+    w.add_argument("--queue", required=True, metavar="DIR",
+                   help="queue directory the campaign was published to")
+    w.add_argument("--store", metavar="DIR", default=None,
+                   help="shared result store (default: QUEUE/store)")
+    w.add_argument("--lease-ttl", type=float, default=None,
+                   metavar="SECS",
+                   help="override the campaign's lease TTL")
+    w.add_argument("--follow", action="store_true",
+                   help="also serve campaigns published in immediate "
+                        "subdirectories (e.g. the per-wave queues of a "
+                        "Monte-Carlo campaign) and keep polling for "
+                        "new ones until idle for --idle-timeout")
+    w.add_argument("--idle-timeout", type=float, default=60.0,
+                   metavar="SECS",
+                   help="with --follow: exit after SECS with nothing "
+                        "to serve (0 = poll forever)")
+    w.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+    w.add_argument("--out", default=None,
+                   help="write this worker's sweep/v1 report(s) here")
+    w.set_defaults(func=cmd_fleet_worker)
+
+    s = fleet_sub.add_parser(
+        "status",
+        help="show a campaign's leases, poison list, and store fill",
+    )
+    s.add_argument("--queue", required=True, metavar="DIR",
+                   help="queue directory (per-wave subqueues included)")
+    s.add_argument("--store", metavar="DIR", default=None,
+                   help="result store (default: each QUEUE/store)")
+    s.add_argument("--out", default=None,
+                   help="write the queue/v1 status JSON here")
+    s.set_defaults(func=cmd_fleet_status)
 
     p = sub.add_parser(
         "mc-diff",
@@ -1058,6 +1312,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="FIT/device for the empirical-UDR campaign")
     p.add_argument("--no-empirical", action="store_true",
                    help="skip the empirical-UDR campaign column")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="content-addressed result store for the "
+                        "empirical-UDR campaign cells")
+    p.add_argument("--queue", metavar="DIR", default=None,
+                   help="fleet mode for the empirical-UDR campaign "
+                        "(workers: repro fleet worker --queue DIR/mc "
+                        "--follow)")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   metavar="SECS", help="fleet lease time-to-live")
     p.add_argument("--out", default=None,
                    help="write the scheme_study/v1 JSON report here")
     p.add_argument("--csv", default=None,

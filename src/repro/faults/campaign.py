@@ -348,7 +348,8 @@ def _campaign_cell(cell):
 def run_campaign(config: CampaignConfig = None, jobs: int = 1,
                  progress=None, *, checkpoint=None, resume: bool = False,
                  max_failures: int = None,
-                 cell_timeout: float = None) -> CampaignReport:
+                 cell_timeout: float = None, store=None, queue=None,
+                 lease_ttl: float = None) -> CampaignReport:
     """Sweep schemes x targets x scrub intervals; aggregate and audit.
 
     ``jobs > 1`` fans the independent (scheme, target, interval) runs
@@ -363,6 +364,10 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
     *partial* report marked ``interrupted`` with salvage counts
     instead of raising — every run is seeded, so resuming later
     converges to the uninterrupted report bit-for-bit.
+
+    ``store``/``queue``/``lease_ttl`` arm the multi-host fleet
+    substrate (shared content-addressed result store + lease work
+    queue), exactly as on :class:`~repro.sim.SweepEngine`.
     """
     config = config or CampaignConfig()
     cells = [
@@ -373,10 +378,13 @@ def run_campaign(config: CampaignConfig = None, jobs: int = 1,
     ]
     from repro.sim.sweep import SweepEngine, salvage_counts
 
+    engine_kwargs = {}
+    if lease_ttl is not None:
+        engine_kwargs["lease_ttl"] = lease_ttl
     engine = SweepEngine(
         cells, runner=_campaign_cell, jobs=jobs, progress=progress,
         checkpoint=checkpoint, resume=resume, max_failures=max_failures,
-        timeout=cell_timeout,
+        timeout=cell_timeout, store=store, queue=queue, **engine_kwargs,
     )
     outcomes = engine.run()
     failed = [o for o in outcomes

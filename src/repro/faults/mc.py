@@ -971,6 +971,9 @@ class McCampaignResult:
     approximated_ranks: int = 0
     importance: Optional[dict] = None
     state: McEstimatorState = field(default_factory=McEstimatorState)
+    #: ``runtime.*`` telemetry snapshot accumulated across every wave's
+    #: sweep engine (store hits/misses, lease claims/reclaims, retries).
+    runtime: dict = field(default_factory=dict)
 
 
 def _finalize(state, config, data_bytes, scheme_coefs, z):
@@ -1100,6 +1103,10 @@ def run_mc_campaign(
     checkpoint=None,
     resume: bool = False,
     max_failures: Optional[int] = None,
+    store=None,
+    queue=None,
+    lease_ttl: Optional[float] = None,
+    registry=None,
     progress=None,
     z: float = 1.96,
 ) -> McCampaignResult:
@@ -1117,15 +1124,29 @@ def run_mc_campaign(
     ``importance`` is a class->probability sampling distribution (see
     :func:`importance_distribution`); estimates stay unbiased via exact
     per-trial likelihood ratios.
+
+    ``store``/``queue`` arm the fleet substrate: batches already in the
+    shared content-addressed ``store`` are served instead of recomputed,
+    and with ``queue`` each wave's batch grid is published as a lease
+    campaign under ``<queue>/wave-NNNN`` so ``repro fleet worker
+    --follow`` processes (on any host sharing the directory) drain it
+    concurrently.  Because every batch is a pure function of its spec
+    and waves are decided from the accumulated batch *set*, a
+    fleet-drained campaign converges to results bit-identical to a
+    single-host serial run.  One shared ``registry`` accumulates the
+    ``runtime.*`` instruments across waves into the report's ``runtime``
+    block.
     """
     from pathlib import Path
 
     from repro.sim.sweep import SweepEngine
+    from repro.telemetry import MetricRegistry
 
     if batch_trials < 1:
         raise ValueError("batch_trials must be >= 1")
     if resume and checkpoint is None:
         raise ValueError("resume requires a checkpoint directory")
+    registry = registry or MetricRegistry()
     if schemes is None:
         from repro.schemes import scheme_names
 
@@ -1188,6 +1209,20 @@ def run_mc_campaign(
             if checkpoint is not None
             else None
         )
+        # One store for the whole campaign (keys are content-addressed,
+        # so waves cannot collide), one queue *per wave* (each wave is
+        # its own lease campaign with its own fingerprint).
+        wave_queue = (
+            str(Path(queue) / f"wave-{wave:04d}")
+            if queue is not None
+            else None
+        )
+        wave_store = store
+        if wave_store is None and queue is not None:
+            wave_store = str(Path(queue) / "store")
+        engine_kwargs = {}
+        if lease_ttl is not None:
+            engine_kwargs["lease_ttl"] = lease_ttl
         sweep = SweepEngine(
             cells,
             runner=run_mc_batch,
@@ -1195,7 +1230,11 @@ def run_mc_campaign(
             checkpoint=wave_checkpoint,
             resume=resume and wave_checkpoint is not None,
             max_failures=max_failures,
+            store=wave_store,
+            queue=wave_queue,
+            registry=registry,
             progress=progress,
+            **engine_kwargs,
         )
         outcomes = sweep.run()
         for outcome in outcomes:
@@ -1252,6 +1291,7 @@ def run_mc_campaign(
         approximated_ranks=estimate["approximated_ranks"],
         importance=dict(importance) if importance is not None else None,
         state=state,
+        runtime=registry.snapshot(),
     )
 
 
@@ -1321,6 +1361,11 @@ def mc_report(result: McCampaignResult) -> dict:
         "approximated_ranks": result.approximated_ranks,
         "importance": result.importance,
         "trajectory": list(result.trajectory),
+        # Host-local fleet/runtime telemetry.  Everything above this key
+        # is a pure function of the campaign description; ``runtime``
+        # legitimately differs between a serial run and a fleet-merged
+        # one, so bit-equality comparisons must exclude it.
+        "runtime": dict(result.runtime),
     }
 
 

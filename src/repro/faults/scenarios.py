@@ -694,7 +694,8 @@ def scenario_report(config: ScenarioConfig, outcomes,
 def run_scenario_campaign(
     config: ScenarioConfig = None, jobs: int = 1, progress=None, *,
     checkpoint=None, resume: bool = False, max_failures: int = None,
-    cell_timeout: float = None,
+    cell_timeout: float = None, store=None, queue=None,
+    lease_ttl: float = None,
 ) -> dict:
     """Sweep scenarios x schemes under the resilience runtime.
 
@@ -703,7 +704,8 @@ def run_scenario_campaign(
     cells journal to ``checkpoint`` so ``resume=True`` skips them, a
     drained campaign returns a partial report marked ``interrupted``,
     and any violation raises :class:`SilentCorruptionError` when
-    ``enforce_invariant`` is set.
+    ``enforce_invariant`` is set.  ``store``/``queue``/``lease_ttl``
+    arm the multi-host fleet substrate.
     """
     config = config or ScenarioConfig()
     cells = [
@@ -713,10 +715,13 @@ def run_scenario_campaign(
     ]
     from repro.sim.sweep import SweepEngine, salvage_counts
 
+    engine_kwargs = {}
+    if lease_ttl is not None:
+        engine_kwargs["lease_ttl"] = lease_ttl
     engine = SweepEngine(
         cells, runner=_scenario_cell, jobs=jobs, progress=progress,
         checkpoint=checkpoint, resume=resume, max_failures=max_failures,
-        timeout=cell_timeout,
+        timeout=cell_timeout, store=store, queue=queue, **engine_kwargs,
     )
     outcomes = engine.run()
     failed = [o for o in outcomes

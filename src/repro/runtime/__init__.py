@@ -2,9 +2,12 @@
 
 Resilience primitives shared by every long-running harness in the
 repo: crash-safe artifact writing (:mod:`repro.runtime.atomic`),
-checkpoint/resume journals (:mod:`repro.runtime.checkpoint`), and
-worker supervision — failure taxonomy, retry policy with decorrelated
-jitter, graceful signal draining (:mod:`repro.runtime.supervision`).
+checkpoint/resume journals (:mod:`repro.runtime.checkpoint`), worker
+supervision — failure taxonomy, retry policy with decorrelated jitter,
+graceful signal draining (:mod:`repro.runtime.supervision`) — and the
+multi-host fleet substrate: a content-addressed shared result store
+(:mod:`repro.runtime.store`) and a lease-based work queue
+(:mod:`repro.runtime.queue`).
 :class:`repro.sim.SweepEngine` and the chaos campaign runner are built
 on top of this package.
 """
@@ -23,6 +26,21 @@ from repro.runtime.checkpoint import (
     cell_key,
     sweep_fingerprint,
 )
+from repro.runtime.queue import (
+    LEASE_SCHEMA,
+    QUEUE_SCHEMA,
+    DEFAULT_LEASE_TTL,
+    Lease,
+    QueueMismatchError,
+    WorkQueue,
+    default_owner_id,
+    register_lease_instruments,
+)
+from repro.runtime.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    register_store_instruments,
+)
 from repro.runtime.supervision import (
     FAILURE_CLASSES,
     AttemptRecord,
@@ -40,19 +58,30 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "CheckpointJournal",
     "CheckpointMismatchError",
+    "DEFAULT_LEASE_TTL",
     "FAILURE_CLASSES",
     "FatalCellError",
     "JOURNAL_NAME",
+    "LEASE_SCHEMA",
+    "Lease",
+    "QUEUE_SCHEMA",
+    "QueueMismatchError",
+    "ResultStore",
     "RetryPolicy",
+    "STORE_SCHEMA",
     "SignalDrain",
     "SimulatedCrashError",
     "SweepError",
     "TooManyFailuresError",
+    "WorkQueue",
     "atomic_write_json",
     "atomic_write_text",
     "cell_key",
     "classify_failure",
+    "default_owner_id",
     "fsync_directory",
+    "register_lease_instruments",
+    "register_store_instruments",
     "set_failpoint",
     "sweep_fingerprint",
 ]

@@ -23,8 +23,14 @@ crash-safety tests — production code never enables it.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+
+#: Per-process monotonic suffix so concurrent writers *within* one
+#: process (threads, nested engines) cannot collide on a temp name the
+#: way the pid suffix already prevents across processes.
+_tmp_counter = itertools.count()
 
 
 class SimulatedCrashError(RuntimeError):
@@ -78,7 +84,7 @@ def atomic_write_text(path, text: str) -> str:
     """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
-    tmp = f"{path}.{os.getpid()}.tmp"
+    tmp = f"{path}.{os.getpid()}.{next(_tmp_counter)}.tmp"
     fh = open(tmp, "w")
     try:
         try:

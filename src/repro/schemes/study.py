@@ -170,6 +170,9 @@ def run_scheme_study(
     empirical: bool = True,
     empirical_trials: int = 12_000,
     empirical_fit: float = 80.0,
+    store=None,
+    queue=None,
+    lease_ttl: float = None,
 ) -> dict:
     """Run the full study; returns the ``scheme_study/v1`` payload.
 
@@ -181,6 +184,12 @@ def run_scheme_study(
     campaign at ``empirical_fit`` FIT/device adds per-scheme empirical
     UDR estimates with CI half-widths (``empirical`` block +
     ``udr.empirical`` per scheme; additive to the schema).
+
+    ``store``/``queue``/``lease_ttl`` arm the fleet substrate for the
+    empirical MC campaign (the study's dominant cost): its batches are
+    served from / published to the shared content-addressed ``store``,
+    and with ``queue`` the per-wave batch grids are published under
+    ``<queue>/mc`` for ``repro fleet worker --follow`` processes.
     """
     from repro.analysis import compute_udr
     from repro.schemes.base import (
@@ -266,6 +275,8 @@ def run_scheme_study(
             trials=empirical_trials,
             seed=seed,
         )
+        import os as _os
+
         campaign = run_mc_campaign(
             mc_config,
             trials=empirical_trials,
@@ -273,6 +284,10 @@ def run_scheme_study(
             importance=importance_distribution(mc_config.relative_rates),
             schemes=order,
             data_bytes=data_bytes,
+            store=store,
+            queue=(_os.path.join(_os.fspath(queue), "mc")
+                   if queue is not None else None),
+            lease_ttl=lease_ttl,
         )
         empirical_block = mc_report(campaign)
         for name in order:

@@ -29,17 +29,18 @@ as a batched engine:
   scalar path, so counter chains, verification, lazy updates, cloning,
   the oracle, and fault hooks are untouched.
 
-Equivalence contract: the engine is **bit-identical** to the scalar
-loop — same ``SimResult`` (including float fields), same registry
-snapshots, same controller traffic, same per-op event stream.  Float
-accumulators (``cpu_cycles``, ``channel_ns``, histogram totals) are
-updated with the same operations in the same order as the scalar loop,
-so rounding is reproduced exactly rather than approximately.  The
-differential prover (:mod:`repro.verify.engine_diff`, ``repro
-engine-diff``) enforces this on the fuzz corpus, the pinned-seed scheme
-sweeps, and chaos-style fault-injection runs; the scalar loop stays
-available behind ``engine="scalar"`` until that evidence says
-otherwise.
+Equivalence contract: the engine was developed as a **bit-identical**
+replacement for the original scalar interpreter loop — same
+``SimResult`` (including float fields), same registry snapshots, same
+controller traffic, same per-op event stream.  Float accumulators
+(``cpu_cycles``, ``channel_ns``, histogram totals) are updated with the
+same operations in the same order as that loop, so rounding was
+reproduced exactly rather than approximately.  After several releases
+of differential soak with zero divergence the scalar loop was retired;
+its observable behavior is pinned by the committed replay corpus that
+:mod:`repro.verify.engine_diff` (``repro engine-diff``) checks the
+vector engine against on every run.  Selecting ``engine="scalar"`` (or
+``REPRO_SIM_ENGINE=scalar``) now raises with a pointer to that prover.
 """
 
 from __future__ import annotations
@@ -51,18 +52,31 @@ import numpy as np
 
 #: Engine selector values for ``SecureSystem.run(engine=...)``.
 ENGINE_VECTOR = "vector"
+#: Retired: the scalar reference interpreter was removed after the
+#: differential soak finished (kept as a constant so the deprecation
+#: error can name it precisely).
 ENGINE_SCALAR = "scalar"
-ENGINES = (ENGINE_VECTOR, ENGINE_SCALAR)
+ENGINES = (ENGINE_VECTOR,)
 
-#: Environment override for the default engine (CI escape hatch and
-#: A/B debugging): ``REPRO_SIM_ENGINE=scalar`` flips every run that
-#: does not pass an explicit ``engine=``.
+#: Environment override for the default engine.  Historically
+#: ``REPRO_SIM_ENGINE=scalar`` flipped every run to the reference
+#: interpreter; that engine is retired, so the only accepted value is
+#: ``vector`` and ``scalar`` raises the deprecation error.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+_SCALAR_RETIRED_MSG = (
+    "the scalar reference engine has been retired: the vectorized "
+    "engine is the only simulation loop, and its behavior is pinned "
+    "by the committed replay corpus (run `repro engine-diff` to "
+    "re-prove it; see repro.verify.engine_diff)"
+)
 
 
 def default_engine() -> str:
     """The engine used when a run does not pick one explicitly."""
     engine = os.environ.get(ENGINE_ENV_VAR, ENGINE_VECTOR)
+    if engine == ENGINE_SCALAR:
+        raise ValueError(f"{ENGINE_ENV_VAR}={engine!r}: {_SCALAR_RETIRED_MSG}")
     if engine not in ENGINES:
         raise ValueError(
             f"{ENGINE_ENV_VAR}={engine!r}: valid engines are {ENGINES}"
@@ -74,6 +88,8 @@ def resolve_engine(engine) -> str:
     """Validate an ``engine=`` argument (None → :func:`default_engine`)."""
     if engine is None or engine == "":
         return default_engine()
+    if engine == ENGINE_SCALAR:
+        raise ValueError(f"engine {engine!r}: {_SCALAR_RETIRED_MSG}")
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; valid: {ENGINES}")
     return engine

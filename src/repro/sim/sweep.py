@@ -32,15 +32,17 @@ bit-identical results.  On top of that, the engine is built on
   failures instead of grinding through a doomed matrix.
 
 ``run_bench`` runs the pinned benchmark sweep (5 workloads x 3 schemes)
-serially, in parallel, and once more under the scalar engine (the
-vector-vs-scalar A/B leg), verifies bit-equality across all legs, and
-emits ``BENCH_perf.json`` (via the crash-safe atomic writer) so the
-repo accumulates a perf trajectory.
+serially, in parallel, and once more with a cold content-addressed
+result store attached (the store-overhead leg), verifies bit-equality
+across all legs, and emits ``BENCH_perf.json`` (via the crash-safe
+atomic writer) so the repo accumulates a perf trajectory.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -56,11 +58,16 @@ import numpy as np
 from repro.runtime import (
     AttemptRecord,
     CheckpointJournal,
+    DEFAULT_LEASE_TTL,
+    ResultStore,
     RetryPolicy,
     SignalDrain,
     TooManyFailuresError,
+    WorkQueue,
     atomic_write_json,
     cell_key,
+    register_lease_instruments,
+    register_store_instruments,
     sweep_fingerprint,
 )
 from repro.runtime.supervision import CRASHED, TIMEOUT, CellState
@@ -94,11 +101,11 @@ class SimCell:
     #: so verified sweeps keep the jobs=1 == jobs=N bit-equality
     #: contract — including the embedded ``verify`` report.
     verify: bool = False
-    #: Simulation engine ("vector"/"scalar"); "" means the session
-    #: default (:func:`repro.sim.engine.default_engine`).  Part of the
-    #: cell description — and of ``cell_key`` — because the engine a
-    #: cell ran under is provenance, even though the two engines are
-    #: differentially proven bit-identical.
+    #: Simulation engine; "" means the session default
+    #: (:func:`repro.sim.engine.default_engine`, i.e. ``"vector"`` —
+    #: the retired ``"scalar"`` value now raises).  Part of the cell
+    #: description — and of ``cell_key`` — because the engine a cell
+    #: ran under is provenance.
     engine: str = ""
 
     @property
@@ -116,7 +123,9 @@ class CellOutcome:
     out-of-order completion — each submission increments it exactly
     once); ``attempt_history`` records every failed attempt with its
     failure class and backoff; ``resumed`` marks outcomes restored
-    from a checkpoint journal instead of executed this run.
+    from a checkpoint journal instead of executed this run; ``reused``
+    marks outcomes served from the shared content-addressed result
+    store (possibly computed by another host).
     """
 
     index: int
@@ -128,6 +137,7 @@ class CellOutcome:
     wall_seconds: float = 0.0
     failure_class: str = ""
     resumed: bool = False
+    reused: bool = False
     attempt_history: list = field(default_factory=list)
 
 
@@ -148,6 +158,10 @@ class SweepProgress:
     #: rather than executed (resumed cells complete "instantly" and are
     #: excluded from the ETA rate estimate).
     resumed: bool = False
+    #: True when this cell was served from the shared result store
+    #: (also "instant", also excluded from the ETA rate estimate — a
+    #: warm store must not make the remaining fresh cells look free).
+    reused: bool = False
 
 
 def run_sim_cell(cell: SimCell):
@@ -213,18 +227,43 @@ class SweepEngine:
     max_failures:
         Circuit breaker: raise :class:`TooManyFailuresError` after this
         many terminal cell failures.
+    store:
+        Shared content-addressed result store: a directory path (may
+        live on a network filesystem shared by a fleet) or a prebuilt
+        :class:`~repro.runtime.ResultStore`.  Cells whose key is
+        already present are served from the store (``reused``
+        outcomes); fresh completions are published back.  An
+        unreachable or read-only store degrades to local compute with
+        warning counters — it never fails the sweep.
+    queue:
+        Multi-host work-queue directory (or prebuilt
+        :class:`~repro.runtime.WorkQueue`).  Arms fleet mode: this
+        engine publishes (or joins) the campaign manifest and claims
+        cells via fsync'd lease files with heartbeat renewal; other
+        ``repro fleet worker`` processes may drain the same campaign
+        concurrently.  Implies a store (defaulting to
+        ``<queue>/store``) — the store is what makes the queue's
+        at-least-once execution exactly-once-effective.
+    lease_ttl:
+        Seconds before an unrenewed lease is presumed abandoned
+        (dead-host detection) and reclaimable.
     registry:
         Optional :class:`~repro.telemetry.MetricRegistry` to register
         the runtime instruments in (``runtime.retries``,
         ``runtime.worker_restarts``, ``runtime.cells_resumed``,
-        ``runtime.failures`` by class, ``runtime.heartbeat_age_s``);
-        one is created per engine otherwise.
+        ``runtime.cells_reused``, ``runtime.failures`` by class,
+        ``runtime.heartbeat_age_s``, plus the ``runtime.store.*`` and
+        ``runtime.lease.*`` fleet families); one is created per engine
+        otherwise.  Sharing a registry across engines (e.g. the
+        per-wave engines of a Monte-Carlo campaign) accumulates one
+        combined time series.
     """
 
     def __init__(self, cells, runner=run_sim_cell, *, jobs: int = 1,
                  timeout: float = None, retries: int = 1, progress=None,
                  checkpoint=None, resume: bool = False,
                  max_failures: int = None, retry_policy: RetryPolicy = None,
+                 store=None, queue=None, lease_ttl: float = DEFAULT_LEASE_TTL,
                  registry: MetricRegistry = None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -240,30 +279,53 @@ class SweepEngine:
         self.checkpoint = checkpoint
         self.resume = resume
         self.max_failures = max_failures
+        self.store_spec = store
+        self.queue_spec = queue
+        self.lease_ttl = lease_ttl
+        if queue is not None and self.jobs > 1:
+            warnings.warn(
+                "queue mode runs cells one at a time per worker process; "
+                "start more `repro fleet worker` processes for "
+                "parallelism (jobs ignored)", RuntimeWarning,
+            )
 
         self.registry = registry or MetricRegistry()
-        self._m_retries = self.registry.counter(
-            "runtime.retries", help="cell attempts retried after a failure")
-        self._m_restarts = self.registry.counter(
-            "runtime.worker_restarts",
+        ensure = self.registry.ensure
+        self._m_retries = ensure(
+            "counter", "runtime.retries",
+            help="cell attempts retried after a failure")
+        self._m_restarts = ensure(
+            "counter", "runtime.worker_restarts",
             help="worker pools killed and replaced (hung or crashed)")
-        self._m_resumed = self.registry.counter(
-            "runtime.cells_resumed",
+        self._m_resumed = ensure(
+            "counter", "runtime.cells_resumed",
             help="cells restored from the checkpoint journal")
-        self._m_completed = self.registry.counter(
-            "runtime.cells_completed", help="cells completed this run")
-        self._m_failures = self.registry.labeled_counter(
-            "runtime.failures", label="failure_class",
+        self._m_reused = ensure(
+            "counter", "runtime.cells_reused",
+            help="cells served from the shared result store")
+        self._m_completed = ensure(
+            "counter", "runtime.cells_completed",
+            help="cells completed this run")
+        self._m_failures = ensure(
+            "labeled_counter", "runtime.failures", label="failure_class",
             help="terminal cell failures by class")
-        self._m_heartbeat = self.registry.gauge(
-            "runtime.heartbeat_age_s",
+        self._m_heartbeat = ensure(
+            "gauge", "runtime.heartbeat_age_s",
             help="age of the oldest in-flight cell heartbeat")
+        # The fleet instrument families are registered unconditionally
+        # so every sweep/v1 runtime block has a uniform shape, armed
+        # fleet or not.
+        register_store_instruments(self.registry)
+        register_lease_instruments(self.registry)
 
         #: Populated by :meth:`run`.
         self.interrupted = False
         self.signal_name = ""
         self.failures: list = []
         self.resumed_count = 0
+        self.reused_count = 0
+        self._store = None
+        self._queue = None
 
     # -- public API ----------------------------------------------------
 
@@ -278,16 +340,25 @@ class SweepEngine:
         self.signal_name = ""
         self.failures = []
         self.resumed_count = 0
+        self.reused_count = 0
+        self._ensure_keys()
         journal = self._open_journal()
+        self._queue = self._open_queue()
+        self._store = self._open_store()
         outcomes = [None] * len(self.cells)
         drain = SignalDrain()
         try:
             with drain:
                 self._restore_resumed(journal, outcomes)
-                if self.jobs == 1:
-                    self._run_serial(outcomes, journal, drain)
+                if self._queue is not None:
+                    self._run_queue(outcomes, journal, drain)
                 else:
-                    self._run_parallel(outcomes, journal, drain)
+                    if self._store is not None:
+                        self._restore_reused(outcomes)
+                    if self.jobs == 1:
+                        self._run_serial(outcomes, journal, drain)
+                    else:
+                        self._run_parallel(outcomes, journal, drain)
         finally:
             if journal is not None:
                 journal.close()
@@ -314,14 +385,20 @@ class SweepEngine:
         cell = self.cells[index]
         return getattr(cell, "label", str(cell))
 
+    def _ensure_keys(self) -> None:
+        """Content-address every cell when any keyed feature is armed
+        (checkpoint journal, result store, work queue)."""
+        if (self.checkpoint is not None or self.store_spec is not None
+                or self.queue_spec is not None):
+            self._keys = [cell_key(cell, self.runner)
+                          for cell in self.cells]
+
     def _open_journal(self):
         if self.checkpoint is None:
             if self.resume:
                 raise ValueError("resume=True requires checkpoint=")
             return None
-        keys = [cell_key(cell, self.runner) for cell in self.cells]
-        self._keys = keys
-        fingerprint = sweep_fingerprint(keys)
+        fingerprint = sweep_fingerprint(self._keys)
         if callable(self.checkpoint) and not isinstance(
                 self.checkpoint, (str, bytes)):
             return self.checkpoint(fingerprint, len(self.cells))
@@ -329,6 +406,31 @@ class SweepEngine:
             self.checkpoint, fingerprint=fingerprint,
             total_cells=len(self.cells), resume=self.resume,
         )
+
+    def _open_queue(self):
+        if self.queue_spec is None:
+            return None
+        if isinstance(self.queue_spec, WorkQueue):
+            queue = self.queue_spec
+        else:
+            queue = WorkQueue(self.queue_spec, ttl=self.lease_ttl,
+                              registry=self.registry)
+        queue.ensure_campaign(self.cells, self.runner,
+                              sweep_fingerprint(self._keys))
+        return queue
+
+    def _open_store(self):
+        spec = self.store_spec
+        if spec is None and self._queue is not None:
+            # Queue mode without an explicit store: the store is what
+            # makes at-least-once execution exactly-once-effective, so
+            # default it to a sibling of the queue.
+            spec = os.path.join(self._queue.directory, "store")
+        if spec is None:
+            return None
+        if isinstance(spec, ResultStore):
+            return spec
+        return ResultStore(spec, registry=self.registry)
 
     def _restore_resumed(self, journal, outcomes) -> None:
         if journal is None or not journal.completed:
@@ -352,15 +454,73 @@ class SweepEngine:
             self._m_resumed.n += 1
             self._report(outcomes, started, outcomes[index])
 
-    def _journal_success(self, journal, index: int, outcome) -> None:
+    def _restore_reused(self, outcomes) -> None:
+        """Pre-pass: serve every cell already in the shared store."""
+        started = time.perf_counter()
+        for index in range(len(self.cells)):
+            if outcomes[index] is None:
+                self._restore_from_store(outcomes, started, index)
+
+    def _restore_from_store(self, outcomes, started: float,
+                            index: int) -> bool:
+        """Serve one cell from the store; ``False`` on a (valid) miss.
+
+        A corrupt entry was already quarantined by the store layer and
+        reads as a miss, so the cell is recomputed — never served."""
+        record = self._store.get(self._keys[index])
+        if record is None:
+            return False
+        outcomes[index] = CellOutcome(
+            index=index,
+            label=record.get("label", self._label(index)),
+            ok=True,
+            result=record["result"],
+            attempts=record.get("attempts", 1),
+            wall_seconds=record.get("wall_seconds", 0.0),
+            reused=True,
+        )
+        self.reused_count += 1
+        self._m_reused.n += 1
+        self._report(outcomes, started, outcomes[index])
+        return True
+
+    def _adopt_poisoned(self, outcomes, started: float, index: int,
+                        record: dict) -> None:
+        """Surface another worker's quarantined terminal failure as this
+        run's outcome for the cell (identical classified failure, no
+        local retry burn)."""
+        outcome = CellOutcome(
+            index=index,
+            label=record.get("label", self._label(index)),
+            ok=False,
+            error=record.get("error", "poisoned by another worker"),
+            attempts=record.get("attempts", 0),
+            failure_class=record.get("failure_class", "fatal"),
+            attempt_history=record.get("attempt_history", []),
+        )
+        outcomes[index] = outcome
+        self.failures.append(outcome)
+        self._m_failures[outcome.failure_class] += 1
+        self._report(outcomes, started, outcome)
+        if (self.max_failures is not None
+                and len(self.failures) >= self.max_failures):
+            raise TooManyFailuresError(self.max_failures, self.failures)
+
+    def _publish_success(self, journal, index: int, outcome) -> None:
         if journal is not None:
             journal.record(self._keys[index], outcome)
+        if self._store is not None and not outcome.reused:
+            self._store.put(self._keys[index], outcome)
 
     def _report(self, outcomes, started: float, outcome) -> None:
         if self.progress is None:
             return
         done = sum(1 for o in outcomes if o is not None)
-        fresh = done - self.resumed_count
+        # ETA extrapolates from *fresh* completions only: journaled
+        # (resumed) and store-served (reused) cells complete in
+        # microseconds and would otherwise collapse the rate estimate
+        # into an absurd ETA on a warm store.
+        fresh = done - self.resumed_count - self.reused_count
         elapsed = time.perf_counter() - started
         remaining = len(self.cells) - done
         if fresh > 0:
@@ -380,10 +540,12 @@ class SweepEngine:
             label=outcome.label,
             ok=outcome.ok,
             resumed=outcome.resumed,
+            reused=outcome.reused,
         ))
 
     def _finalize_failure(self, outcomes, journal, started, state,
-                          failure_class: str, error: str) -> None:
+                          failure_class: str, error: str, *,
+                          poison: bool = False) -> None:
         outcome = CellOutcome(
             index=state.index,
             label=self._label(state.index),
@@ -396,6 +558,11 @@ class SweepEngine:
         outcomes[state.index] = outcome
         self.failures.append(outcome)
         self._m_failures[failure_class] += 1
+        if poison and self._queue is not None:
+            # Retry budget truly exhausted (not a local drain): publish
+            # the classified failure so the rest of the fleet skips the
+            # cell instead of re-discovering it.
+            self._queue.poison(self._keys[state.index], outcome)
         self._report(outcomes, started, outcome)
         if (self.max_failures is not None
                 and len(self.failures) >= self.max_failures):
@@ -424,38 +591,99 @@ class SweepEngine:
     def _run_serial(self, outcomes, journal, drain) -> None:
         started = time.perf_counter()
         for index in range(len(self.cells)):
-            if outcomes[index] is not None:   # resumed
+            if outcomes[index] is not None:   # resumed or store-served
                 continue
             if drain.requested:
                 return
-            state = CellState(index=index)
-            while True:
-                state.attempts += 1
-                start = time.perf_counter()
-                try:
-                    result = self.runner(self.cells[index])
-                except Exception as exc:   # degrade, don't kill the sweep
-                    failure_class = self.policy.classify(exc)
-                    error = f"{type(exc).__name__}: {exc}"
-                    delay = self._grant_retry(state, failure_class, error)
-                    if delay < 0 or drain.requested:
-                        self._finalize_failure(outcomes, journal, started,
-                                               state, failure_class, error)
-                        break
-                    if delay:
-                        time.sleep(delay)
+            self._run_cell_serial(outcomes, journal, drain, started, index)
+
+    def _run_cell_serial(self, outcomes, journal, drain,
+                         started: float, index: int) -> None:
+        """Execute one cell in-process with the full retry policy."""
+        state = CellState(index=index)
+        while True:
+            state.attempts += 1
+            start = time.perf_counter()
+            try:
+                result = self.runner(self.cells[index])
+            except Exception as exc:   # degrade, don't kill the sweep
+                failure_class = self.policy.classify(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                delay = self._grant_retry(state, failure_class, error)
+                if delay < 0 or drain.requested:
+                    self._finalize_failure(outcomes, journal, started,
+                                           state, failure_class, error,
+                                           poison=delay < 0)
+                    return
+                if delay:
+                    time.sleep(delay)
+                continue
+            outcome = CellOutcome(
+                index=index, label=self._label(index), ok=True,
+                result=result, attempts=state.attempts,
+                wall_seconds=time.perf_counter() - start,
+                attempt_history=[r.to_dict() for r in state.history],
+            )
+            outcomes[index] = outcome
+            self._m_completed.n += 1
+            self._publish_success(journal, index, outcome)
+            self._report(outcomes, started, outcome)
+            return
+
+    # -- queue (fleet) -------------------------------------------------
+
+    def _run_queue(self, outcomes, journal, drain) -> None:
+        """Fleet mode: repeatedly scan the cell list, serving finished
+        cells from the store, adopting poisoned ones, and claiming the
+        rest via leases.
+
+        The scan-until-drained structure is what makes a partially dead
+        fleet converge: a cell leased by a worker that died simply
+        expires, and *some* surviving worker's next pass reclaims it.
+        With a fully degraded (unreachable) store the loop still
+        terminates — every claim failure or store miss is answered by
+        local compute on whoever holds the lease, and this worker's own
+        outcomes never depend on reading the store back.
+        """
+        started = time.perf_counter()
+        queue = self._queue
+        poll = max(0.05, min(1.0, queue.ttl / 6.0))
+        while not drain.requested:
+            progressed = False
+            remaining = [index for index, done in enumerate(outcomes)
+                         if done is None]
+            if not remaining:
+                return
+            for index in remaining:
+                if drain.requested:
+                    return
+                key = self._keys[index]
+                if (self._store is not None
+                        and self._restore_from_store(outcomes, started,
+                                                     index)):
+                    progressed = True
                     continue
-                outcome = CellOutcome(
-                    index=index, label=self._label(index), ok=True,
-                    result=result, attempts=state.attempts,
-                    wall_seconds=time.perf_counter() - start,
-                    attempt_history=[r.to_dict() for r in state.history],
-                )
-                outcomes[index] = outcome
-                self._m_completed.n += 1
-                self._journal_success(journal, index, outcome)
-                self._report(outcomes, started, outcome)
-                break
+                record = queue.poisoned(key)
+                if record is not None:
+                    self._adopt_poisoned(outcomes, started, index, record)
+                    progressed = True
+                    continue
+                lease = queue.try_claim(key)
+                if lease is None:
+                    continue   # validly held by another live worker
+                try:
+                    with queue.heartbeat(lease):
+                        self._run_cell_serial(outcomes, journal, drain,
+                                              started, index)
+                finally:
+                    queue.release(lease)
+                if outcomes[index] is not None:
+                    progressed = True
+            if not progressed:
+                # Every remaining cell is leased by someone else: wait
+                # for the fleet (a completed cell appears in the store;
+                # a dead worker's lease expires and gets reclaimed).
+                time.sleep(poll)
 
     # -- parallel ------------------------------------------------------
 
@@ -578,7 +806,7 @@ class SweepEngine:
                     )
                     outcomes[index] = outcome
                     self._m_completed.n += 1
-                    self._journal_success(journal, index, outcome)
+                    self._publish_success(journal, index, outcome)
                     self._report(outcomes, started, outcome)
                 if pool_broken:
                     # Surviving futures of the broken pool will also
@@ -646,6 +874,7 @@ def salvage_counts(outcomes) -> dict:
         "total": len(outcomes),
         "completed": sum(1 for o in outcomes if o.ok),
         "resumed": sum(1 for o in outcomes if o.resumed),
+        "reused": sum(1 for o in outcomes if o.reused),
         "failed": sum(1 for o in outcomes
                       if not o.ok and o.failure_class != "interrupted"),
         "interrupted": sum(1 for o in outcomes
@@ -692,6 +921,7 @@ def sweep_report(engine: SweepEngine, outcomes, *, kind: str = "sweep",
                 "attempts": o.attempts,
                 "failure_class": o.failure_class,
                 "resumed": o.resumed,
+                "reused": o.reused,
                 "wall_seconds": round(o.wall_seconds, 4),
                 "attempt_history": o.attempt_history,
             }
@@ -750,7 +980,8 @@ def bench_cells(refs: int = 20_000, footprint_mb: int = 8,
 
 def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
               footprint_mb: int = 8, memory_mb: int = 32,
-              progress=None, checkpoint_dir: str = None) -> dict:
+              progress=None, checkpoint_dir: str = None,
+              store_dir: str = None) -> dict:
     """Run the pinned sweep serially and at ``jobs`` workers.
 
     Returns the BENCH_perf.json payload: wall-clock and refs/sec per
@@ -762,20 +993,20 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
     into separate subdirectories so the measured overhead includes
     checkpointing.
 
-    A third, serial *scalar* leg reruns the grid with
-    ``engine="scalar"``: every cell row reports the scalar engine's
-    refs/s next to the default (vectorized) engine's, plus their ratio
-    (``engine_speedup``), and ``engines_identical`` asserts the two
-    legs' ``SimResult``s are bit-equal — the bench doubles as a live
-    differential check.
+    A third, serial *store* leg reruns the grid with a cold
+    content-addressed :class:`~repro.runtime.store.ResultStore`
+    attached — every cell misses, computes, and publishes — and the
+    ``store`` block reports the store layer's own overhead budget
+    (fsync'd entry writes must stay under 2% of the leg's wall-clock:
+    the ``bench-smoke`` CI gate), its hit/miss/write counters, and a
+    bit-equality verdict against the plain serial leg.
     """
     import os
+    import shutil
+    import tempfile
 
     cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
                         memory_mb=memory_mb, seed=seed)
-    scalar_cells = bench_cells(refs=refs, footprint_mb=footprint_mb,
-                               memory_mb=memory_mb, seed=seed,
-                               engine="scalar")
     serial_ckpt = parallel_ckpt = None
     if checkpoint_dir:
         serial_ckpt = os.path.join(checkpoint_dir, "serial")
@@ -795,46 +1026,48 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
     else:
         parallel, parallel_wall = serial, serial_wall
 
-    # Scalar comparison leg: same grid, scalar engine, serial, no
-    # checkpointing — pure engine A/B.
-    scalar_start = time.perf_counter()
-    scalar = SweepEngine(scalar_cells, jobs=1, progress=progress).run()
-    scalar_wall = time.perf_counter() - scalar_start
+    # Cold-store comparison leg: same grid, serial, fresh store — the
+    # store layer's overhead (hash keys + pickle + fsync'd entry
+    # publish per cell) measured against pure compute.
+    store_tmp = None
+    if store_dir is None:
+        store_tmp = store_dir = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        store_start = time.perf_counter()
+        store_engine = SweepEngine(cells, jobs=1, progress=progress,
+                                   store=store_dir)
+        store_leg = store_engine.run()
+        store_wall = time.perf_counter() - store_start
+        store_snapshot = store_engine.registry.snapshot()
+    finally:
+        if store_tmp is not None:
+            shutil.rmtree(store_tmp, ignore_errors=True)
 
     identical = all(
         s.ok and p.ok and asdict(s.result) == asdict(p.result)
         for s, p in zip(serial, parallel)
     )
-    engines_identical = all(
-        s.ok and c.ok and asdict(s.result) == asdict(c.result)
-        for s, c in zip(serial, scalar)
+    store_identical = all(
+        s.ok and t.ok and asdict(s.result) == asdict(t.result)
+        for s, t in zip(serial, store_leg)
     )
 
     cell_rows = []
-    for cell, s, p, c in zip(cells, serial, parallel, scalar):
+    for cell, s, p in zip(cells, serial, parallel):
         latency = s.result.latency_ns if s.ok else {}
         cell_refs = cell.workload[2].get("num_refs", refs)
         refs_per_s = (
             round(cell_refs / s.wall_seconds, 1) if s.wall_seconds else None
         )
-        scalar_refs_per_s = (
-            round(cell_refs / c.wall_seconds, 1) if c.wall_seconds else None
-        )
         cell_rows.append({
             "label": s.label,
             "workload": cell.workload[0],
             "scheme": cell.scheme,
-            "ok": s.ok and p.ok and c.ok,
+            "ok": s.ok and p.ok,
             "refs": cell_refs,
             "serial_wall_s": round(s.wall_seconds, 4),
             "parallel_wall_s": round(p.wall_seconds, 4),
-            "scalar_wall_s": round(c.wall_seconds, 4),
             "refs_per_s": refs_per_s,
-            "scalar_refs_per_s": scalar_refs_per_s,
-            "engine_speedup": (
-                round(refs_per_s / scalar_refs_per_s, 2)
-                if refs_per_s and scalar_refs_per_s else None
-            ),
             "read_p95_ns": latency.get("read", {}).get("p95"),
             "write_p95_ns": latency.get("write", {}).get("p95"),
         })
@@ -848,11 +1081,13 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
 
     serial_cell_wall = sum(o.wall_seconds for o in serial if o.ok)
     overhead = max(0.0, serial_wall - serial_cell_wall)
+    store_cell_wall = sum(o.wall_seconds for o in store_leg if o.ok)
+    store_overhead = max(0.0, store_wall - store_cell_wall)
     return {
-        # v3: adds the gcc cache-resident cell (15 cells), the scalar
-        # comparison leg (per-cell scalar_refs_per_s / engine_speedup,
-        # engines_identical verdict), and per-cell refs.
-        "schema": "bench_perf/v3",
+        # v4: scalar comparison leg retired with the scalar engine
+        # (its behavior is pinned by the engine-replay fixture); adds
+        # the cold content-addressed store leg and its overhead budget.
+        "schema": "bench_perf/v4",
         "engine": default_engine(),
         "telemetry_schema": TELEMETRY_SCHEMA,
         "refs": refs,
@@ -861,14 +1096,25 @@ def run_bench(refs: int = 20_000, jobs: int = 2, seed: int = 2021,
         "cells": cell_rows,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
-        "scalar_wall_s": round(scalar_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3)
         if parallel_wall else None,
-        "engine_speedup": round(scalar_wall / serial_wall, 3)
-        if serial_wall else None,
         "identical_outputs": identical,
-        "engines_identical": engines_identical,
         "mc": mc,
+        "store": {
+            "wall_s": round(store_wall, 4),
+            "cell_wall_s": round(store_cell_wall, 4),
+            "overhead_s": round(store_overhead, 4),
+            # The cold-store budget the content-addressed layer must
+            # fit in (<2% of its leg's wall): key hashing, pickling,
+            # fsync'd entry publish.
+            "overhead_fraction": (
+                round(store_overhead / store_wall, 5) if store_wall else None
+            ),
+            "identical_outputs": store_identical,
+            "hits": store_snapshot.get("runtime.store.hits"),
+            "misses": store_snapshot.get("runtime.store.misses"),
+            "writes": store_snapshot.get("runtime.store.writes"),
+        },
         "runtime": {
             "checkpointed": bool(checkpoint_dir),
             "serial_cell_wall_s": round(serial_cell_wall, 4),

@@ -22,8 +22,6 @@ metadata misses as read stalls.
 
 from __future__ import annotations
 
-from itertools import islice
-
 import numpy as np
 
 from repro.cache import CacheHierarchy
@@ -137,18 +135,20 @@ class SecureSystem:
         dict of ``VerifySession`` keyword options.  The report lands in
         ``SimResult.verify``.
 
-        ``engine`` selects the hot-loop implementation: ``"vector"``
-        (the batched array engine in :mod:`repro.sim.engine`, the
-        default) or ``"scalar"`` (the reference interpreter loop).
-        The two are bit-identical — same ``SimResult``, registry
-        snapshots, controller traffic, and per-op event stream — a
-        contract enforced by ``repro engine-diff`` and the
-        engine-equivalence CI job.  ``None`` defers to the
-        ``REPRO_SIM_ENGINE`` environment override, then ``"vector"``.
+        ``engine`` selects the hot-loop implementation.  ``"vector"``
+        (the batched array engine in :mod:`repro.sim.engine`) is the
+        only engine; the historical ``"scalar"`` reference interpreter
+        was retired after the differential soak and now raises a clear
+        deprecation error.  The vector engine's observable behavior —
+        ``SimResult``, registry snapshots, controller traffic, per-op
+        event stream — is pinned by the committed replay corpus that
+        ``repro engine-diff`` checks (engine-replay CI job).  ``None``
+        defers to the ``REPRO_SIM_ENGINE`` environment override, then
+        ``"vector"``.
         """
-        from repro.sim.engine import ENGINE_VECTOR, resolve_engine
+        from repro.sim.engine import resolve_engine
 
-        engine = resolve_engine(engine)
+        resolve_engine(engine)
         controller = self.controller
 
         session = None
@@ -165,12 +165,9 @@ class SecureSystem:
                 op_hook(event.index)
             tracer.subscribe("op", hook)
         try:
-            if engine == ENGINE_VECTOR:
-                from repro.sim.engine import run_batched
+            from repro.sim.engine import run_batched
 
-                totals = run_batched(self, workload, warmup_refs)
-            else:
-                totals = self._run_scalar(workload, warmup_refs)
+            totals = run_batched(self, workload, warmup_refs)
         finally:
             if hook is not None:
                 tracer.unsubscribe("op", hook)
@@ -202,94 +199,6 @@ class SecureSystem:
             },
             verify=verify_report,
         )
-
-    def _run_scalar(self, workload, warmup_refs: int = 0) -> tuple:
-        """The reference interpreter loop (one Python iteration per
-        memory reference).
-
-        Kept as the golden implementation the vectorized engine is
-        differentially proven against; returns the accounting totals
-        ``(instructions, memory_requests, cpu_cycles, channel_ns)``.
-        """
-        config = self.config
-        controller = self.controller
-        data_bytes = controller.num_data_blocks * 64
-
-        # Hot-loop hoists: bound methods and per-reference constants.
-        hierarchy_access = self.hierarchy.access
-        controller_read = controller.read
-        controller_write = controller.write
-        read_latency_cycles = config.ns_to_cycles(config.pcm_read_ns)
-        pcm_read_ns = config.pcm_read_ns
-        pcm_write_ns = config.pcm_write_ns
-        cycle_ns = config.cycle_ns
-        observe_read_ns = self._read_latency.observe
-        observe_write_ns = self._write_latency.observe
-        zero = bytes(64)
-
-        tracer_emit = self.tracer.emit
-        emit_op = self.tracer.wants("op")
-
-        refs = workload.references()
-        if warmup_refs > 0:
-            for address, is_write, _gap in islice(refs, warmup_refs):
-                address %= data_bytes
-                result = hierarchy_access(address, is_write)
-                if result.memory_read:
-                    controller_read(address // 64)
-                for victim in result.writebacks:
-                    controller_write(victim // 64, zero)
-            # Checkpoint: measurement starts from warmed state.
-            self.reset_measurement_stats()
-
-        instructions = 0
-        memory_requests = 0
-        cpu_cycles = 0.0
-        channel_ns = 0.0
-
-        while True:
-            # Batched draining keeps the inner loop on a plain list.
-            batch = list(islice(refs, REFERENCE_BATCH))
-            if not batch:
-                break
-            for address, is_write, gap in batch:
-                if emit_op:
-                    tracer_emit("op", index=memory_requests)
-                address %= data_bytes
-                instructions += gap + 1
-                cpu_cycles += gap  # 1 cycle per non-memory instruction
-                memory_requests += 1
-
-                result = hierarchy_access(address, is_write)
-                cpu_cycles += result.latency_cycles
-
-                blocking_reads = 0
-                posted_writes = 0
-                if result.memory_read:
-                    read = controller_read(address // 64)
-                    blocking_reads += read.cost.blocking_reads
-                    posted_writes += read.cost.posted_writes
-                for victim in result.writebacks:
-                    cost = controller_write(victim // 64, zero)
-                    blocking_reads += cost.blocking_reads
-                    posted_writes += cost.posted_writes
-
-                cpu_cycles += blocking_reads * read_latency_cycles
-                channel_ns += (
-                    blocking_reads * pcm_read_ns
-                    + posted_writes * pcm_write_ns
-                )
-                request_ns = (
-                    result.latency_cycles
-                    + blocking_reads * read_latency_cycles
-                ) * cycle_ns
-                if is_write:
-                    observe_write_ns(request_ns)
-                else:
-                    observe_read_ns(request_ns)
-
-        return instructions, memory_requests, cpu_cycles, channel_ns
-
 
 def _workload_seed(seed: int) -> int:
     """Stream seed derived from a run seed.

@@ -18,6 +18,10 @@ import json
 def default_manifest() -> dict:
     """Manifest covering every metric a standard simulation registers."""
     # Imported lazily: repro.sim imports repro.telemetry at module load.
+    from repro.runtime import (
+        register_lease_instruments,
+        register_store_instruments,
+    )
     from repro.sim import SecureSystem, SystemConfig
     from repro.workloads.trace import Trace
 
@@ -25,6 +29,12 @@ def default_manifest() -> dict:
     # The trace-characterization domain registers its instruments when a
     # Trace is characterized against a registry.
     Trace("manifest", []).stats(registry=system.registry)
+    # The fleet substrate (content-addressed result store + lease-based
+    # work queue) registers through the same ensure() helpers every
+    # SweepEngine uses, so the golden covers ``runtime.store.*`` and
+    # ``runtime.lease.*`` by construction.
+    register_store_instruments(system.registry)
+    register_lease_instruments(system.registry)
     return system.registry.manifest()
 
 

@@ -357,6 +357,20 @@ class MetricRegistry:
     def histogram(self, name: str, buckets, help: str = "") -> HistogramMetric:
         return self.register(HistogramMetric(name, buckets, help=help))
 
+    def ensure(self, kind: str, name: str, **kwargs):
+        """Get-or-create: return the named instrument if registered,
+        else create it via the ``kind`` factory (``"counter"``,
+        ``"labeled_counter"``, ``"gauge"``, ``"histogram"``).
+
+        Lets several engine instances share one registry (e.g. the
+        per-wave sweep engines of a Monte-Carlo campaign accumulating
+        into one ``runtime.*`` time series) without tripping the
+        duplicate-registration error.
+        """
+        if name in self._metrics:
+            return self._metrics[name]
+        return getattr(self, kind)(name, **kwargs)
+
     def adopt(self, metrics) -> None:
         """Register instruments created elsewhere (e.g. a pre-built
         ``NvmDevice`` handed to a controller), so registry-wide

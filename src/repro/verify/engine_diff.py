@@ -1,12 +1,16 @@
-"""Differential prover: scalar vs vectorized engine bit-equality.
+"""Replay prover: the vector engine vs its pinned behavior corpus.
 
-The vectorized batch engine (:mod:`repro.sim.engine`) claims **bit
-identity** with the scalar reference loop — not statistical closeness:
-the same ``SimResult`` (every float included), the same registry
-snapshot (latency histograms, cache counters, controller traffic), the
-same cache residency, and the same typed error if a run dies.  This
-module is the evidence.  It runs both engines over three surfaces and
-compares everything:
+The vectorized batch engine (:mod:`repro.sim.engine`) was developed as
+a bit-identical replacement for the original scalar interpreter loop
+and soaked under a live differential prover until the evidence was
+unanimous; the scalar loop is now retired.  What remains is the
+contract itself: the engine's *observable behavior* — the full
+``SimResult`` (every float included), the registry snapshot (latency
+histograms, cache counters, controller traffic), the cache residency
+digest, and the typed error if a run dies — is pinned in a committed
+replay fixture (``tests/fixtures/engine_replay.json``, schema
+``engine_replay/v1``).  This module re-runs the engine over the same
+three surfaces and compares everything against the fixture:
 
 * **corpus** — the committed fuzz corpus (``tests/corpus/*.json``):
   each case's read/write op skeleton becomes a reference trace (tiled
@@ -18,17 +22,25 @@ compares everything:
   figures pin);
 * **chaos** — fault-injection runs wired through the per-op trace
   event (:class:`~repro.faults.FaultInjector` polled from ``op_hook``),
-  where both engines must corrupt the same blocks at the same op
-  indices and surface the same outcome — including raising the same
-  typed error at the same point when the damage is fatal.
+  where the engine must corrupt the same blocks at the same op indices
+  and surface the same outcome — including raising the same typed
+  error at the same point when the damage is fatal.
+
+Any refactor of the hot loop that shifts a float accumulation, reorders
+an eviction, or drops a histogram observation diverges from the fixture
+and fails the suite.  Intentional behavior changes re-pin the corpus
+with ``repro engine-diff --record`` (review the fixture diff like any
+golden-file change).
 
 ``repro engine-diff`` runs the whole suite from the shell; the
-``engine-equivalence`` CI job gates merges on it.
+``engine-replay`` CI job gates merges on it.
 """
 
 from __future__ import annotations
 
 import glob
+import hashlib
+import json
 import os
 from dataclasses import asdict
 
@@ -39,13 +51,20 @@ from repro.sim.system import SecureSystem
 from repro.workloads.base import Workload
 
 #: Schema stamp for :func:`run_engine_diff` payloads.
-ENGINE_DIFF_SCHEMA = "engine_diff/v1"
+ENGINE_DIFF_SCHEMA = "engine_diff/v2"
+
+#: Schema stamp for the committed replay fixture.
+REPLAY_SCHEMA = "engine_replay/v1"
+
+#: Where the pinned behavior corpus lives (repo-relative, like the
+#: default ``tests/corpus`` the fuzzer uses).
+DEFAULT_FIXTURE = os.path.join("tests", "fixtures", "engine_replay.json")
 
 #: How many times a corpus case's op skeleton is tiled into a trace —
 #: enough repetition for cache reuse and LRU churn to matter.
 CORPUS_TILE = 25
 
-_COMPARED_KEYS = ("result", "error", "registry", "resident")
+_COMPARED_KEYS = ("result", "error", "registry", "resident_sha256")
 
 
 def _trace_workload(name: str, refs: list, footprint_bytes: int) -> Workload:
@@ -82,38 +101,64 @@ def corpus_trace(path: str, tile: int = CORPUS_TILE):
     return refs, config
 
 
-def _observe(build, engine: str) -> dict:
-    """Everything observable about one run under ``engine``."""
+def _normalize(payload):
+    """Canonicalise a payload the way the fixture stores it.
+
+    A JSON round-trip maps tuples to lists and non-string dict keys to
+    strings, so a live observation compares bit-equal against the same
+    observation after a trip through the fixture file.
+    """
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+def _observe(build) -> dict:
+    """Everything observable about one run of the vector engine.
+
+    Cache residency (every resident address per level, in LRU order)
+    is folded to a sha256 digest so the committed fixture stays small
+    while still pinning the exact post-run cache state.
+    """
     system, workload, kwargs = build()
     result = error = None
     try:
-        result = asdict(system.run(workload, engine=engine, **kwargs))
+        result = asdict(system.run(workload, **kwargs))
     except Exception as exc:  # compared, not hidden: same error = pass
         error = f"{type(exc).__name__}: {exc}"
-    return {
+    resident = [
+        cache.resident_addresses()
+        for cache in system.hierarchy.caches
+    ]
+    digest = hashlib.sha256(
+        json.dumps(resident, sort_keys=True).encode()
+    ).hexdigest()
+    return _normalize({
         "result": result,
         "error": error,
         "registry": system.registry.snapshot(),
-        "resident": [
-            cache.resident_addresses()
-            for cache in system.hierarchy.caches
-        ],
-    }
+        "resident_sha256": digest,
+    })
 
 
-def run_case(case: dict) -> dict:
-    """Run one case under both engines; returns the verdict row."""
-    scalar = _observe(case["build"], "scalar")
-    vector = _observe(case["build"], "vector")
-    mismatched = [
-        key for key in _COMPARED_KEYS if scalar[key] != vector[key]
-    ]
+def run_case(case: dict, pinned) -> dict:
+    """Run one case and diff it against its pinned observation.
+
+    ``pinned`` is the fixture entry for this case, or ``None`` when the
+    fixture has never recorded it (a new case ⇒ re-pin with
+    ``--record``).
+    """
+    observed = _observe(case["build"])
+    if pinned is None:
+        mismatched = ["missing-from-fixture"]
+    else:
+        mismatched = [
+            key for key in _COMPARED_KEYS if observed[key] != pinned.get(key)
+        ]
     return {
         "name": case["name"],
         "kind": case["kind"],
         "identical": not mismatched,
         "mismatched": mismatched,
-        "error": scalar["error"],
+        "error": observed["error"],
     }
 
 
@@ -191,10 +236,10 @@ def chaos_cases(refs: int = 4000) -> list:
     """Fault-injection runs through the per-op trace event.
 
     The injector is polled from ``op_hook`` — i.e. from the ``"op"``
-    event both engines emit per post-warmup reference — so corruption
-    lands at identical op indices; the engines must then agree on every
-    downstream consequence (repairs, quarantines, or the same typed
-    error at the same op).
+    event the engine emits per post-warmup reference — so corruption
+    lands at pinned op indices; the engine must then reproduce every
+    downstream consequence the fixture recorded (repairs, quarantines,
+    or the same typed error at the same op).
     """
     from repro.faults.injector import FaultInjector
     from repro.workloads import make_workload
@@ -232,17 +277,103 @@ def chaos_cases(refs: int = 4000) -> list:
 
 
 # ----------------------------------------------------------------------
+# fixture I/O
+
+
+def load_fixture(path: str = DEFAULT_FIXTURE) -> dict:
+    """Load and sanity-check the pinned replay fixture."""
+    with open(path) as fh:
+        fixture = json.load(fh)
+    if fixture.get("schema") != REPLAY_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {fixture.get('schema')!r} != {REPLAY_SCHEMA!r}"
+        )
+    return fixture
+
+
+def record_fixture(cases: list, path: str = DEFAULT_FIXTURE,
+                   refs: int = 4000, progress=None) -> dict:
+    """Observe every case and pin the fixture at ``path``.
+
+    The header records the trace length the observations were taken
+    under; replays refuse an explicit mismatching ``refs`` (the traces
+    would legitimately differ and every case would "fail").
+    """
+    from repro.runtime.atomic import atomic_write_json
+
+    observations = {}
+    for case in cases:
+        observations[case["name"]] = _observe(case["build"])
+        if progress is not None:
+            progress({
+                "name": case["name"], "kind": case["kind"],
+                "identical": True, "mismatched": [],
+                "error": observations[case["name"]]["error"],
+            })
+    fixture = {
+        "schema": REPLAY_SCHEMA,
+        "refs": refs,
+        "corpus_tile": CORPUS_TILE,
+        "cases": observations,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    atomic_write_json(path, fixture)
+    return fixture
+
+
+# ----------------------------------------------------------------------
 # the suite
 
 
-def run_engine_diff(corpus_dir: str = "tests/corpus", refs: int = 4000,
-                    quick: bool = False, progress=None) -> dict:
-    """Run the full differential suite; returns the report payload.
+def run_engine_diff(corpus_dir: str = "tests/corpus", refs: int = None,
+                    quick: bool = False, progress=None,
+                    fixture: str = DEFAULT_FIXTURE,
+                    record: bool = False) -> dict:
+    """Run the replay suite; returns the report payload.
 
     ``identical`` is the headline verdict: True iff *every* case —
-    corpus, sweep, and chaos — produced bit-equal observations under
-    both engines.
+    corpus, sweep, and chaos — reproduced its pinned observation
+    bit-for-bit.  ``refs=None`` defers to the fixture's pinned trace
+    length.
+
+    ``record=True`` re-pins the fixture instead of comparing — the
+    sanctioned path for intentional behavior changes; the fixture diff
+    is reviewed like any golden file.
     """
+    if record:
+        refs = refs or 4000
+        cases = (
+            corpus_cases(corpus_dir)
+            + sweep_cases(refs=refs, quick=quick)
+            + chaos_cases(refs=refs)
+        )
+        payload = record_fixture(
+            cases, path=fixture, refs=refs, progress=progress
+        )
+        rows = [
+            {"name": name, "kind": name.split(":", 1)[0],
+             "identical": True, "mismatched": [],
+             "error": obs["error"]}
+            for name, obs in payload["cases"].items()
+        ]
+        return {
+            "schema": ENGINE_DIFF_SCHEMA,
+            "fixture": fixture,
+            "recorded": True,
+            "cases": rows,
+            "total": len(rows),
+            "identical": True,
+        }
+
+    pinned = load_fixture(fixture)
+    pinned_refs = pinned.get("refs", 4000)
+    if refs is not None and refs != pinned_refs:
+        raise ValueError(
+            f"refs={refs} but the fixture is pinned at refs={pinned_refs}; "
+            "omit --refs to replay at the pinned length, or re-pin with "
+            "--record"
+        )
+    refs = pinned_refs
     cases = (
         corpus_cases(corpus_dir)
         + sweep_cases(refs=refs, quick=quick)
@@ -250,12 +381,14 @@ def run_engine_diff(corpus_dir: str = "tests/corpus", refs: int = 4000,
     )
     rows = []
     for case in cases:
-        row = run_case(case)
+        row = run_case(case, pinned["cases"].get(case["name"]))
         rows.append(row)
         if progress is not None:
             progress(row)
     return {
         "schema": ENGINE_DIFF_SCHEMA,
+        "fixture": fixture,
+        "recorded": False,
         "cases": rows,
         "total": len(rows),
         "identical": all(row["identical"] for row in rows),

@@ -1,13 +1,18 @@
-"""Differential tests: the vectorized batch engine vs the scalar loop.
+"""Engine contract tests: the vector engine vs its pinned replay corpus.
 
-The engine's contract is **bit identity**, not statistical closeness:
-same ``SimResult`` (floats included), same registry snapshot, same
-cache residency, same per-op event stream, same typed error when a run
-dies.  These tests enforce the contract directly at the system level;
-``repro engine-diff`` (tests below run its quick suite) extends the
-same check over the fuzz corpus, pinned sweeps, and chaos runs.
+The engine's contract is **bit identity** with its own recorded
+behavior, not statistical closeness: same ``SimResult`` (floats
+included), same registry snapshot, same cache residency, same typed
+error when a run dies.  The scalar reference loop the engine was
+originally proven against is retired; the committed replay fixture
+(``tests/fixtures/engine_replay.json``) now carries that evidence, and
+``repro engine-diff`` (tests below run its suite) enforces it over the
+fuzz corpus, pinned sweeps, and chaos runs.  These tests also pin the
+retirement itself: ``engine="scalar"`` must fail loudly, never fall
+back silently.
 """
 
+import json
 from dataclasses import asdict
 
 import numpy as np
@@ -15,7 +20,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.faults.injector import FaultInjector
 from repro.sim import SecureSystem, SystemConfig
 from repro.sim.engine import (
     ENGINE_ENV_VAR,
@@ -26,7 +30,13 @@ from repro.sim.engine import (
     resolve_engine,
     run_batched,
 )
-from repro.verify.engine_diff import run_engine_diff
+from repro.verify.engine_diff import (
+    DEFAULT_FIXTURE,
+    ENGINE_DIFF_SCHEMA,
+    REPLAY_SCHEMA,
+    load_fixture,
+    run_engine_diff,
+)
 from repro.workloads import make_workload
 
 GCC = ("gcc", (), {"footprint_bytes": 1 << 20, "num_refs": 1500})
@@ -43,16 +53,13 @@ def _system(scheme="src", seed=7, memory_mb=16, **kwargs):
     )
 
 
-def _observe(scheme, spec, engine, seed=7, system_kwargs=None,
-             op_hook_factory=None, **run_kwargs):
-    """Run one cell under ``engine``; return everything observable."""
+def _observe(scheme, spec, seed=7, system_kwargs=None, **run_kwargs):
+    """Run one cell; return everything observable."""
     system = _system(scheme=scheme, seed=seed, **(system_kwargs or {}))
     workload = make_workload(spec, seed=seed + 1)
-    if op_hook_factory is not None:
-        run_kwargs["op_hook"] = op_hook_factory(system)
     result = error = None
     try:
-        result = asdict(system.run(workload, engine=engine, **run_kwargs))
+        result = asdict(system.run(workload, **run_kwargs))
     except Exception as exc:
         error = f"{type(exc).__name__}: {exc}"
     return {
@@ -65,13 +72,6 @@ def _observe(scheme, spec, engine, seed=7, system_kwargs=None,
     }
 
 
-def _assert_identical(scheme, spec, **kwargs):
-    scalar = _observe(scheme, spec, ENGINE_SCALAR, **kwargs)
-    vector = _observe(scheme, spec, ENGINE_VECTOR, **kwargs)
-    assert vector == scalar
-    return vector
-
-
 class TestEngineSelection:
     def test_default_is_vector(self, monkeypatch):
         monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
@@ -79,12 +79,21 @@ class TestEngineSelection:
         assert resolve_engine(None) == ENGINE_VECTOR
         assert resolve_engine("") == ENGINE_VECTOR
 
-    def test_env_override_flips_default(self, monkeypatch):
+    def test_scalar_argument_raises_retirement_error(self):
+        with pytest.raises(ValueError, match="retired"):
+            resolve_engine(ENGINE_SCALAR)
+        system = _system()
+        with pytest.raises(ValueError, match="engine-diff"):
+            system.run(make_workload(GCC, seed=1), engine="scalar")
+
+    def test_scalar_env_override_raises_retirement_error(self, monkeypatch):
         monkeypatch.setenv(ENGINE_ENV_VAR, ENGINE_SCALAR)
-        assert default_engine() == ENGINE_SCALAR
-        assert resolve_engine(None) == ENGINE_SCALAR
-        # An explicit engine= wins over the environment.
-        assert resolve_engine(ENGINE_VECTOR) == ENGINE_VECTOR
+        with pytest.raises(ValueError, match="retired"):
+            default_engine()
+        # Even an implicit run must refuse, not silently fall back.
+        system = _system()
+        with pytest.raises(ValueError, match="retired"):
+            system.run(make_workload(GCC, seed=1))
 
     def test_invalid_env_value_rejected(self, monkeypatch):
         monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
@@ -98,53 +107,15 @@ class TestEngineSelection:
         with pytest.raises(ValueError, match="unknown engine"):
             system.run(make_workload(GCC, seed=1), engine="turbo")
 
-    def test_engines_tuple_is_pinned(self):
-        assert ENGINES == ("vector", "scalar")
+    def test_engines_tuple_is_vector_only(self):
+        assert ENGINES == ("vector",)
+
+    def test_scalar_loop_is_gone(self):
+        assert not hasattr(SecureSystem, "_run_scalar")
 
 
-class TestBitIdentity:
-    """System-level differential checks across representative cells."""
-
-    @pytest.mark.parametrize("scheme", ["baseline", "src", "sac"])
-    def test_gcc_identical_across_schemes(self, scheme):
-        observed = _assert_identical(scheme, GCC)
-        assert observed["error"] is None
-        assert observed["result"]["memory_requests"] == 1500
-
-    @pytest.mark.parametrize("spec", [UBENCH, MCF], ids=["ubench", "mcf"])
-    def test_other_workloads_identical(self, spec):
-        _assert_identical("src", spec)
-
-    def test_warmup_window_identical(self):
-        """Warmup flushes accounting mid-run in both engines; the
-        measured window (and the reset boundary) must align exactly."""
-        observed = _assert_identical("src", GCC, warmup_refs=300)
-        assert observed["result"]["memory_requests"] == 1200
-
-    def test_verify_oracle_identical(self):
-        """verify=True runs the full differential oracle inside both
-        engines; the embedded report is part of the compared payload."""
-        observed = _assert_identical(
-            "src", GCC, system_kwargs={"functional_crypto": True},
-            verify=True,
-        )
-        assert observed["result"]["verify"]["ok"] is True
-
-    def test_fault_injection_identical(self):
-        """op_hook rides the per-op trace event: both engines must
-        deliver identical op indices, so injected corruption lands at
-        the same points and every downstream repair/quarantine/error
-        agrees."""
-        def hook(system):
-            return FaultInjector(
-                system.controller, targets=("counter",), seed=19,
-                num_faults=4, horizon_ops=1500, mode="direct",
-            ).poll
-
-        _assert_identical(
-            "src", GCC, system_kwargs={"functional_crypto": True},
-            op_hook_factory=hook,
-        )
+class TestEngineInvariance:
+    """Vector-engine invariants that once rode the scalar A/B leg."""
 
     def test_array_source_matches_generator_source(self):
         """The vector engine consumes pre-generated arrays when the
@@ -187,35 +158,96 @@ class TestBitIdentity:
             })
         assert all(o == observations[0] for o in observations[1:])
 
-    def test_hierarchy_state_reusable_after_vector_run(self):
-        """export_state leaves the caches authoritative: a scalar run
-        layered on a vector-warmed system matches a scalar run layered
-        on a scalar-warmed one."""
+    def test_hierarchy_state_reusable_after_run(self):
+        """export_state leaves the caches authoritative: a second run
+        layered on a warmed system is deterministic — warm-then-run
+        twice from the same seeds produces identical observations."""
         finals = []
-        for first_engine in (ENGINE_SCALAR, ENGINE_VECTOR):
+        for _ in range(2):
             system = _system(scheme="src", seed=7)
-            system.run(make_workload(GCC, seed=8), engine=first_engine)
-            result = system.run(
-                make_workload(UBENCH, seed=9), engine=ENGINE_SCALAR
-            )
+            system.run(make_workload(GCC, seed=8))
+            result = system.run(make_workload(UBENCH, seed=9))
             finals.append(
                 (asdict(result), system.registry.snapshot())
             )
         assert finals[0] == finals[1]
 
+    @pytest.mark.parametrize("scheme", ["baseline", "src", "sac"])
+    def test_run_is_deterministic_across_schemes(self, scheme):
+        first = _observe(scheme, GCC)
+        second = _observe(scheme, GCC)
+        assert first == second
+        assert first["error"] is None
+        assert first["result"]["memory_requests"] == 1500
 
-class TestEngineDiffSuite:
-    def test_quick_suite_is_identical(self):
-        """The committed differential prover (corpus + pinned sweeps +
-        chaos) at reduced refs — the same suite CI gates on."""
-        report = run_engine_diff(refs=600, quick=True)
-        assert report["schema"] == "engine_diff/v1"
+
+class TestReplaySuite:
+    def test_committed_fixture_replays_identical(self):
+        """The committed fixture must replay clean — the same gate the
+        engine-replay CI job enforces (quick subset)."""
+        report = run_engine_diff(quick=True)
+        assert report["schema"] == ENGINE_DIFF_SCHEMA
         failed = [row["name"] for row in report["cases"]
                   if not row["identical"]]
         assert failed == []
         assert report["identical"] is True
         kinds = {row["kind"] for row in report["cases"]}
         assert kinds == {"corpus", "sweep", "chaos"}
+
+    def test_committed_fixture_schema(self):
+        fixture = load_fixture(DEFAULT_FIXTURE)
+        assert fixture["schema"] == REPLAY_SCHEMA
+        assert fixture["refs"] == 4000
+        assert len(fixture["cases"]) >= 10
+        for observation in fixture["cases"].values():
+            assert set(observation) >= {
+                "result", "error", "registry", "resident_sha256"
+            }
+
+    def test_record_then_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "replay.json")
+        recorded = run_engine_diff(quick=True, refs=600, fixture=path,
+                                   record=True)
+        assert recorded["recorded"] is True
+        replayed = run_engine_diff(quick=True, fixture=path)
+        assert replayed["identical"] is True
+        assert replayed["total"] == recorded["total"]
+
+    def test_tampered_fixture_detected(self, tmp_path):
+        """A drifted pinned observation must surface as a mismatch —
+        the fixture is the contract, not a suggestion."""
+        path = str(tmp_path / "replay.json")
+        run_engine_diff(quick=True, refs=600, fixture=path, record=True)
+        with open(path) as fh:
+            fixture = json.load(fh)
+        name = next(n for n in fixture["cases"] if n.startswith("sweep:"))
+        fixture["cases"][name]["resident_sha256"] = "0" * 64
+        fixture["cases"][name]["result"]["cpu_cycles"] += 1.0
+        with open(path, "w") as fh:
+            json.dump(fixture, fh)
+        report = run_engine_diff(quick=True, fixture=path)
+        assert report["identical"] is False
+        row = next(r for r in report["cases"] if r["name"] == name)
+        assert set(row["mismatched"]) == {"result", "resident_sha256"}
+
+    def test_unrecorded_case_flagged(self, tmp_path):
+        path = str(tmp_path / "replay.json")
+        run_engine_diff(quick=True, refs=600, fixture=path, record=True)
+        with open(path) as fh:
+            fixture = json.load(fh)
+        name, dropped = sorted(fixture["cases"].items())[0]
+        del fixture["cases"][name]
+        with open(path, "w") as fh:
+            json.dump(fixture, fh)
+        report = run_engine_diff(quick=True, fixture=path)
+        row = next(r for r in report["cases"] if r["name"] == name)
+        assert row["mismatched"] == ["missing-from-fixture"]
+
+    def test_mismatching_refs_rejected(self, tmp_path):
+        path = str(tmp_path / "replay.json")
+        run_engine_diff(quick=True, refs=600, fixture=path, record=True)
+        with pytest.raises(ValueError, match="pinned at refs=600"):
+            run_engine_diff(quick=True, refs=900, fixture=path)
 
 
 # The property-based sweep: randomized cells drawn across workloads
@@ -235,17 +267,20 @@ CELLS = st.tuples(
 )
 
 
-class TestPropertyEquivalence:
+class TestPropertyDeterminism:
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     @given(cell=CELLS)
-    def test_scalar_and_vector_simresults_equal(self, cell):
+    def test_engine_is_a_pure_function_of_the_cell(self, cell):
+        """Replay-ability rests on determinism: re-running any cell
+        must reproduce every observable bit (the property the content-
+        addressed result store and the replay fixture both lean on)."""
         (name, args, kwargs), scheme, seed, warmup = cell
         spec = (name, args, {**kwargs, "num_refs": 500})
-        scalar = _observe(scheme, spec, ENGINE_SCALAR, seed=seed,
+        first = _observe(scheme, spec, seed=seed,
+                         system_kwargs={"memory_mb": 4},
+                         warmup_refs=warmup)
+        second = _observe(scheme, spec, seed=seed,
                           system_kwargs={"memory_mb": 4},
                           warmup_refs=warmup)
-        vector = _observe(scheme, spec, ENGINE_VECTOR, seed=seed,
-                          system_kwargs={"memory_mb": 4},
-                          warmup_refs=warmup)
-        assert vector == scalar
+        assert second == first

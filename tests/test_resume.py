@@ -247,7 +247,7 @@ class TestGracefulShutdown:
         report = sweep_report(engine, outcomes)
         assert report["interrupted"] is True
         assert report["salvage"] == {
-            "total": 4, "completed": 1, "resumed": 0,
+            "total": 4, "completed": 1, "resumed": 0, "reused": 0,
             "failed": 0, "interrupted": 3,
         }
 

@@ -195,7 +195,7 @@ class TestBench:
         return run_bench(refs=500, jobs=2, seed=2021)
 
     def test_grid_is_pinned(self, payload):
-        assert payload["schema"] == "bench_perf/v3"
+        assert payload["schema"] == "bench_perf/v4"
         assert payload["telemetry_schema"] == "telemetry/v1"
         assert len(payload["cells"]) == 15  # 5 workloads x 3 schemes
         workloads = {c["workload"] for c in payload["cells"]}
@@ -210,15 +210,17 @@ class TestBench:
         others = [c for c in payload["cells"] if c["workload"] != "gcc"]
         assert all(c["refs"] == 500 for c in others)
 
-    def test_scalar_leg_is_bit_identical(self, payload):
-        """The bench doubles as a live engine differential check."""
-        assert payload["engines_identical"] is True
-        assert payload["scalar_wall_s"] > 0
-        assert payload["engine_speedup"] is not None
-        for cell in payload["cells"]:
-            assert cell["scalar_wall_s"] > 0
-            assert cell["scalar_refs_per_s"] > 0
-            assert cell["engine_speedup"] > 0
+    def test_store_leg_is_bit_identical(self, payload):
+        """The cold-store leg must change nothing but the wall-clock:
+        same results as the plain serial leg, one published entry per
+        cell, zero hits (the store starts empty)."""
+        store = payload["store"]
+        assert store["identical_outputs"] is True
+        assert store["wall_s"] > 0
+        assert store["hits"] == 0
+        assert store["misses"] == len(payload["cells"])
+        assert store["writes"] == len(payload["cells"])
+        assert 0.0 <= store["overhead_fraction"] < 1.0
 
     def test_cells_report_latency_percentiles(self, payload):
         for cell in payload["cells"]:
